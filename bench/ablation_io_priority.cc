@@ -1,0 +1,55 @@
+// Related-work ablation: FastTrack-style foreground-priority I/O (Hahn et
+// al., ATC'18 — the paper's reference [30] for priority inversion). FG-first
+// dispatch at the block layer fixes the I/O half of the inversion but not
+// the reclaim half; ICE removes the cause instead. Comparing stock LRU+CFS,
+// LRU+CFS with FG-priority I/O, and Ice.
+#include "bench/bench_util.h"
+
+using namespace ice;
+
+namespace {
+
+// LRU+CFS plus foreground-priority I/O dispatch.
+class FastTrackIoScheme : public Scheme {
+ public:
+  std::string name() const override { return "FG-prio I/O"; }
+  void Install(const SystemRefs& refs) override {
+    refs.storage->set_fg_priority(true);
+  }
+};
+
+}  // namespace
+
+int main() {
+  PrintSection("Ablation: FastTrack-style FG-priority I/O vs Ice (S-D on Pixel3/eMMC)");
+  RegisterIceScheme();
+  SchemeRegistry::Instance().Register(
+      "fasttrack_io", []() { return std::make_unique<FastTrackIoScheme>(); });
+
+  int rounds = BenchRounds(3);
+  Table table({"scheme", "fps", "RIA", "refaults", "FG I/O mean latency"});
+  for (const char* scheme : {"lru_cfs", "fasttrack_io", "ice"}) {
+    double fps = 0, ria = 0, rf = 0, fg_lat = 0;
+    for (int round = 0; round < rounds; ++round) {
+      ExperimentConfig config;
+      config.device = Pixel3Profile();
+      config.scheme = scheme;
+      config.seed = 61000 + static_cast<uint64_t>(round) * 104729;
+      Experiment exp(config);
+      Uid fg = exp.UidOf(ScenarioPackage(ScenarioKind::kGame));
+      exp.CacheBackgroundApps(6, {fg});
+      ScenarioResult r = exp.RunScenario(ScenarioKind::kGame, Sec(30));
+      fps += r.avg_fps / rounds;
+      ria += r.ria / rounds;
+      rf += static_cast<double>(r.refaults) / rounds;
+      fg_lat += exp.storage().fg_mean_latency_us() / rounds;
+    }
+    table.AddRow({scheme, Table::Num(fps), Table::Pct(ria, 0), Table::Num(rf, 0),
+                  Table::Num(fg_lat, 0) + " us"});
+  }
+  table.Print();
+  std::printf("\nFinding: block-layer FG priority only matters when the device queue\n"
+              "actually backs up (shallow-QD eMMC under heavy churn); the dominant\n"
+              "stalls live in the reclaim path, which only Ice removes.\n");
+  return 0;
+}

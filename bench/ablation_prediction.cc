@@ -1,0 +1,90 @@
+// Extension ablation (§6.3.1): prediction-assisted pre-thawing. The paper's
+// worst case — a frozen, fully-reclaimed app hot-launched — costs ~2x a
+// normal hot launch; with a usage predictor, ICE thaws the likely next app
+// ahead of time and hides the penalty.
+#include "bench/bench_util.h"
+#include "src/ice/daemon.h"
+
+using namespace ice;
+
+namespace {
+
+double MeasureHotLaunchMs(bool enable_prediction, bool reclaim_all, int pairs) {
+  ExperimentConfig config;
+  config.device = P20Profile();
+  config.scheme = "ice";
+  config.ice.enable_prediction = enable_prediction;
+  config.seed = 51000;
+  Experiment exp(config);
+
+  Uid a = exp.UidOf("Twitter");
+  Uid b = exp.UidOf("Amazon");
+  // Teach the alternation a <-> b.
+  for (int i = 0; i < 3; ++i) {
+    exp.am().Launch(a);
+    exp.AwaitInteractive(a);
+    exp.am().Launch(b);
+    exp.AwaitInteractive(b);
+  }
+  // Create pressure so cached apps get frozen and reclaimed.
+  exp.CacheBackgroundApps(6, {a, b});
+  exp.RunScenarioForApp(a, ScenarioKind::kScrolling, Sec(10), Sec(60));
+
+  double total_ms = 0;
+  int measured = 0;
+  for (int i = 0; i < pairs; ++i) {
+    // Freeze + fully reclaim b (the worst case of §6.3.1), then follow the
+    // learned pattern: a -> b.
+    App* app_b = exp.am().FindApp(b);
+    if (app_b == nullptr || !app_b->running()) {
+      break;
+    }
+    if (reclaim_all) {
+      exp.mm().ReclaimAllOf(exp.am().main_process(b)->space());
+    }
+    exp.freezer().FreezeApp(*app_b);
+    exp.am().Launch(a);  // Predicted next is b: pre-thawed if enabled.
+    exp.AwaitInteractive(a);
+    // The pre-thawed app gets to run in the background: its own activity
+    // restores its working set before the user switches (the paper's point).
+    // Without prediction it stays frozen and cold for the same interval.
+    exp.engine().RunFor(Sec(25));
+
+    size_t idx = exp.am().launches().size();
+    exp.am().Launch(b);
+    exp.AwaitInteractive(b, Sec(30));
+    const LaunchRecord& r = exp.am().launches()[idx];
+    if (r.completed && !r.cold) {
+      total_ms += ToMilliseconds(r.latency);
+      ++measured;
+    }
+    exp.engine().RunFor(Sec(2));
+  }
+  return measured > 0 ? total_ms / measured : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  PrintSection("Extension ablation: prediction-assisted pre-thawing (§6.3.1)");
+  int pairs = BenchRounds(4);
+  double frozen_base = MeasureHotLaunchMs(false, false, pairs);
+  double frozen_pred = MeasureHotLaunchMs(true, false, pairs);
+  double worst_base = MeasureHotLaunchMs(false, true, pairs);
+  double worst_pred = MeasureHotLaunchMs(true, true, pairs);
+
+  Table table({"case", "Ice (ms)", "Ice + Markov pre-thaw (ms)", "saved"});
+  table.AddRow({"frozen app", Table::Num(frozen_base, 0), Table::Num(frozen_pred, 0),
+                Table::Pct(frozen_base > 0 ? (frozen_base - frozen_pred) / frozen_base : 0)});
+  table.AddRow({"frozen + fully reclaimed (worst case)", Table::Num(worst_base, 0),
+                Table::Num(worst_pred, 0),
+                Table::Pct(worst_base > 0 ? (worst_base - worst_pred) / worst_base : 0)});
+  table.Print();
+  std::printf(
+      "\nPaper (§6.3.1): the frozen worst case is 1.98x a normal hot launch and\n"
+      "\"can be further eliminated... with application prediction\". Measured:\n"
+      "pre-thawing removes the thaw latency and lets the app partially restore\n"
+      "itself; the remaining worst-case cost is the bulk page restore, which\n"
+      "prediction alone cannot hide.\n");
+  return 0;
+}

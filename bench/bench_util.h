@@ -1,0 +1,98 @@
+// Shared helpers for the reproduction benches: each binary regenerates one
+// table or figure from the paper and prints paper-vs-measured rows.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/harness/experiment.h"
+#include "src/metrics/report.h"
+
+namespace ice {
+
+// Rounds per configuration; ICE_BENCH_ROUNDS overrides (the paper uses 10).
+inline int BenchRounds(int default_rounds = 3) {
+  const char* env = std::getenv("ICE_BENCH_ROUNDS");
+  if (env != nullptr) {
+    int v = std::atoi(env);
+    if (v > 0) {
+      return v;
+    }
+  }
+  return default_rounds;
+}
+
+inline double Mean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+// Averages ScenarioResults over seeds for one (device, scheme, scenario, bg)
+// configuration.
+struct ScenarioAverages {
+  double fps = 0.0;
+  double ria = 0.0;
+  double reclaims = 0.0;
+  double refaults = 0.0;
+  double refaults_bg = 0.0;
+  double refaults_fg = 0.0;
+  double io_requests = 0.0;
+  double io_bytes = 0.0;
+  double cpu_util = 0.0;
+  double freezes = 0.0;
+};
+
+inline ScenarioAverages RunScenarioRounds(const DeviceProfile& device,
+                                          const std::string& scheme, ScenarioKind kind,
+                                          int bg_apps, int rounds,
+                                          SimDuration duration = Sec(30),
+                                          SimDuration warmup = Sec(240)) {
+  ScenarioAverages avg;
+  for (int round = 0; round < rounds; ++round) {
+    ExperimentConfig config;
+    config.device = device;
+    config.scheme = scheme;
+    config.seed = 1000 + static_cast<uint64_t>(round) * 7919;
+    Experiment exp(config);
+    Uid fg = exp.UidOf(ScenarioPackage(kind));
+    if (bg_apps > 0) {
+      exp.CacheBackgroundApps(bg_apps, {fg});
+    }
+    ScenarioResult r = exp.RunScenario(kind, duration, warmup);
+    avg.fps += r.avg_fps;
+    avg.ria += r.ria;
+    avg.reclaims += static_cast<double>(r.reclaims);
+    avg.refaults += static_cast<double>(r.refaults);
+    avg.refaults_bg += static_cast<double>(r.refaults_bg);
+    avg.refaults_fg += static_cast<double>(r.refaults_fg);
+    avg.io_requests += static_cast<double>(r.io_requests);
+    avg.io_bytes += static_cast<double>(r.io_bytes);
+    avg.cpu_util += r.cpu_util;
+    avg.freezes += static_cast<double>(r.freezes);
+  }
+  double n = rounds;
+  avg.fps /= n;
+  avg.ria /= n;
+  avg.reclaims /= n;
+  avg.refaults /= n;
+  avg.refaults_bg /= n;
+  avg.refaults_fg /= n;
+  avg.io_requests /= n;
+  avg.io_bytes /= n;
+  avg.cpu_util /= n;
+  avg.freezes /= n;
+  return avg;
+}
+
+}  // namespace ice
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,103 @@
+// Figure 4: per-process reclaim study over 40 popular apps. Reclaim ALL of a
+// cached app's pages, watch 30 s, and categorize the pages that refault.
+// Paper: >30% of reclaimed pages return; of refaulted pages 48.6% file /
+// 51.4% anon; of anon, 56.6% native heap / 43.4% Java heap. Also: 77% of
+// refaults remain with idle GC disabled.
+#include "bench/bench_util.h"
+
+using namespace ice;
+
+namespace {
+
+struct StudyTotals {
+  double reclaimed = 0;
+  double refaulted = 0;
+  double file = 0;
+  double anon = 0;
+  double java = 0;
+  double native = 0;
+};
+
+StudyTotals RunStudy(bool disable_gc) {
+  ExperimentConfig config;
+  config.device = P20Profile();
+  config.seed = 9000 + (disable_gc ? 1 : 0);
+  config.extended_catalog = true;  // The 40-app study set.
+  config.disable_gc = disable_gc;
+  // The study reclaims one app at a time; give the device enough headroom
+  // that the *measured* refaults come from the app's own BG activity.
+  Experiment exp(config);
+
+  StudyTotals totals;
+  int studied = 0;
+  for (Uid uid : exp.CatalogUids()) {
+    if (studied >= 40) {
+      break;
+    }
+    ++studied;
+    // Launch, interact briefly, switch to BG (the study procedure).
+    exp.am().Launch(uid);
+    exp.AwaitInteractive(uid, Sec(20));
+    exp.engine().RunFor(Sec(3));
+    exp.am().MoveForegroundToBackground();
+    exp.engine().RunFor(Sec(2));
+
+    AddressSpace* space = exp.am().main_space(uid);
+    if (space == nullptr) {
+      continue;  // LMK got it.
+    }
+    StatsRegistry& st = exp.engine().stats();
+    auto before = st.Snapshot();
+    uint64_t ev_before = space->total_evictions;
+    ReclaimResult r = exp.mm().ReclaimAllOf(*space);
+    (void)ev_before;
+    // Watch refaults for 30 seconds (cat /proc/pid/status analog).
+    uint64_t app_rf_before = space->total_refaults;
+    exp.engine().RunFor(Sec(30));
+    auto d = StatsRegistry::Diff(before, st.Snapshot());
+    totals.reclaimed += static_cast<double>(r.reclaimed);
+    totals.refaulted += static_cast<double>(space->total_refaults - app_rf_before);
+    totals.file += static_cast<double>(d[stat::kRefaultsFile]);
+    totals.anon += static_cast<double>(d[stat::kRefaultsAnon]);
+    totals.java += static_cast<double>(d[stat::kRefaultsJavaHeap]);
+    totals.native += static_cast<double>(d[stat::kRefaultsNativeHeap]);
+
+    // Kill the app so the next study subject starts from a clean slate.
+    App* app = exp.am().FindApp(uid);
+    if (app != nullptr && app->running()) {
+      exp.am().KillApp(*app);
+    }
+    exp.engine().RunFor(Sec(1));
+  }
+  return totals;
+}
+
+}  // namespace
+
+int main() {
+  PrintSection("Figure 4: categorization of refaulted pages (40-app study)");
+  StudyTotals normal = RunStudy(/*disable_gc=*/false);
+
+  Table table({"metric", "paper", "measured"});
+  table.AddRow({"refault ratio (refaulted/reclaimed)", ">30%",
+                Table::Pct(normal.reclaimed > 0 ? normal.refaulted / normal.reclaimed : 0)});
+  double rf_total = normal.file + normal.anon;
+  table.AddRow({"file-backed share of refaults", "48.6%",
+                Table::Pct(rf_total > 0 ? normal.file / rf_total : 0)});
+  table.AddRow({"anonymous share of refaults", "51.4%",
+                Table::Pct(rf_total > 0 ? normal.anon / rf_total : 0)});
+  double anon_total = normal.java + normal.native;
+  table.AddRow({"native-heap share of anon refaults", "56.6%",
+                Table::Pct(anon_total > 0 ? normal.native / anon_total : 0)});
+  table.AddRow({"Java-heap share of anon refaults", "43.4%",
+                Table::Pct(anon_total > 0 ? normal.java / anon_total : 0)});
+  table.Print();
+
+  PrintSection("GC ablation: refaults remaining with idle runtime GC disabled");
+  StudyTotals no_gc = RunStudy(/*disable_gc=*/true);
+  double remaining = normal.refaulted > 0 ? no_gc.refaulted / normal.refaulted : 0;
+  std::printf("Paper: 77%% of refaults remain with idle GC off (GC is not the only source).\n");
+  std::printf("Measured: %.1f%% remain (%.0f vs %.0f refaulted pages).\n", remaining * 100.0,
+              no_gc.refaulted, normal.refaulted);
+  return 0;
+}

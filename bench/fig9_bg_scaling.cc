@@ -1,0 +1,43 @@
+// Figure 9: FPS and RIA vs the number of cached BG apps ("F", "2B+F", ...)
+// with and without Ice, on both devices. Paper: at full pressure Ice gives
+// 1.57x FPS on Pixel3 (6B+F) and 1.44x on P20 (8B+F); RIA drops by 32.7 /
+// 34.6 percentage points.
+#include "bench/bench_util.h"
+
+using namespace ice;
+
+int main() {
+  PrintSection("Figure 9: FPS/RIA vs number of BG apps, LRU+CFS vs Ice");
+  int rounds = BenchRounds(2);
+
+  for (const DeviceProfile& device : {Pixel3Profile(), P20Profile()}) {
+    std::printf("\n--- %s ---\n", device.name.c_str());
+    Table table({"config", "LRU+CFS fps", "Ice fps", "Ice/LRU", "LRU RIA", "Ice RIA"});
+    int max_bg = device.full_pressure_bg_apps;
+    for (int bg = 0; bg <= max_bg; bg += 2) {
+      // Scenario average over the four scenarios, like the paper.
+      double lru_fps = 0, ice_fps = 0, lru_ria = 0, ice_ria = 0;
+      for (ScenarioKind kind : {ScenarioKind::kVideoCall, ScenarioKind::kShortVideo,
+                                ScenarioKind::kScrolling, ScenarioKind::kGame}) {
+        ScenarioAverages lru = RunScenarioRounds(device, "lru_cfs", kind, bg, rounds);
+        ScenarioAverages ice_avg = RunScenarioRounds(device, "ice", kind, bg, rounds);
+        lru_fps += lru.fps;
+        ice_fps += ice_avg.fps;
+        lru_ria += lru.ria;
+        ice_ria += ice_avg.ria;
+      }
+      lru_fps /= 4;
+      ice_fps /= 4;
+      lru_ria /= 4;
+      ice_ria /= 4;
+      std::string label = bg == 0 ? "F" : std::to_string(bg) + "B+F";
+      table.AddRow({label, Table::Num(lru_fps), Table::Num(ice_fps),
+                    Table::Num(lru_fps > 0 ? ice_fps / lru_fps : 0, 2) + "x",
+                    Table::Pct(lru_ria, 0), Table::Pct(ice_ria, 0)});
+    }
+    table.Print();
+  }
+  std::printf("\nPaper: curves coincide at F and 2B+F, diverge as BG apps grow;\n"
+              "Ice 1.57x (Pixel3, 6B+F) and 1.44x (P20, 8B+F).\n");
+  return 0;
+}

@@ -1,0 +1,156 @@
+// icesim — command-line front end for the simulator. Runs any scenario under
+// any scheme on either device profile and prints the full metric set; handy
+// for quick A/B checks without writing code.
+//
+//   $ ./icesim_cli --device=p20 --scheme=ice --scenario=s-b --bg=8
+//   $ ./icesim_cli --device=pixel3 --scheme=lru_cfs --scenario=s-d \
+//         --bg=6 --duration=60 --warmup=300 --seed=7
+//   $ ./icesim_cli --help
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/harness/experiment.h"
+#include "src/metrics/report.h"
+
+namespace {
+
+using namespace ice;
+
+struct CliOptions {
+  std::string device = "p20";
+  std::string scheme = "lru_cfs";
+  std::string scenario = "s-b";
+  int bg = -1;  // -1 = the device's full-pressure count.
+  int duration_s = 30;
+  int warmup_s = 240;
+  uint64_t seed = 42;
+  bool series = false;
+};
+
+void PrintHelp() {
+  std::printf(
+      "icesim — ICE reproduction simulator\n\n"
+      "  --device=p20|pixel3      device profile (default p20)\n"
+      "  --scheme=NAME            lru_cfs | ucsg | acclaim | power | ice\n"
+      "  --scenario=s-a|s-b|s-c|s-d   video call / short video / scrolling / game\n"
+      "  --bg=N                   cached background apps (default: device full pressure)\n"
+      "  --duration=SECONDS       measurement window (default 30)\n"
+      "  --warmup=SECONDS         pre-measurement warmup (default 240)\n"
+      "  --seed=N                 rng seed (default 42)\n"
+      "  --series                 also print the per-second FPS series\n");
+}
+
+bool ParseArg(const char* arg, const char* key, std::string* out) {
+  size_t len = std::strlen(key);
+  if (std::strncmp(arg, key, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+ScenarioKind KindFromName(const std::string& name) {
+  if (name == "s-a" || name == "videocall") {
+    return ScenarioKind::kVideoCall;
+  }
+  if (name == "s-b" || name == "shortvideo") {
+    return ScenarioKind::kShortVideo;
+  }
+  if (name == "s-c" || name == "scrolling") {
+    return ScenarioKind::kScrolling;
+  }
+  if (name == "s-d" || name == "game") {
+    return ScenarioKind::kGame;
+  }
+  std::fprintf(stderr, "unknown scenario '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      PrintHelp();
+      return 0;
+    } else if (std::strcmp(argv[i], "--series") == 0) {
+      opts.series = true;
+    } else if (ParseArg(argv[i], "--device", &value)) {
+      opts.device = value;
+    } else if (ParseArg(argv[i], "--scheme", &value)) {
+      opts.scheme = value;
+    } else if (ParseArg(argv[i], "--scenario", &value)) {
+      opts.scenario = value;
+    } else if (ParseArg(argv[i], "--bg", &value)) {
+      opts.bg = std::atoi(value.c_str());
+    } else if (ParseArg(argv[i], "--duration", &value)) {
+      opts.duration_s = std::atoi(value.c_str());
+    } else if (ParseArg(argv[i], "--warmup", &value)) {
+      opts.warmup_s = std::atoi(value.c_str());
+    } else if (ParseArg(argv[i], "--seed", &value)) {
+      opts.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s' (try --help)\n", argv[i]);
+      return 2;
+    }
+  }
+
+  ExperimentConfig config;
+  if (opts.device == "p20") {
+    config.device = P20Profile();
+  } else if (opts.device == "pixel3") {
+    config.device = Pixel3Profile();
+  } else {
+    std::fprintf(stderr, "unknown device '%s'\n", opts.device.c_str());
+    return 2;
+  }
+  config.scheme = opts.scheme;
+  config.seed = opts.seed;
+  ScenarioKind kind = KindFromName(opts.scenario);
+  int bg = opts.bg >= 0 ? opts.bg : config.device.full_pressure_bg_apps;
+
+  std::printf("icesim: %s on %s, scheme=%s, %d BG apps, %ds after %ds warmup, seed=%llu\n",
+              ScenarioName(kind), config.device.name.c_str(), opts.scheme.c_str(), bg,
+              opts.duration_s, opts.warmup_s, static_cast<unsigned long long>(opts.seed));
+
+  Experiment exp(config);
+  Uid fg = exp.UidOf(ScenarioPackage(kind));
+  if (bg > 0) {
+    exp.CacheBackgroundApps(bg, {fg});
+  }
+  ScenarioResult r = exp.RunScenario(kind, Sec(static_cast<uint64_t>(opts.duration_s)),
+                                     Sec(static_cast<uint64_t>(opts.warmup_s)));
+
+  Table table({"metric", "value"});
+  table.AddRow({"avg FPS", Table::Num(r.avg_fps)});
+  table.AddRow({"RIA", Table::Pct(r.ria)});
+  table.AddRow({"reclaimed pages", std::to_string(r.reclaims)});
+  table.AddRow({"refaults (total/bg/fg)", std::to_string(r.refaults) + " / " +
+                                              std::to_string(r.refaults_bg) + " / " +
+                                              std::to_string(r.refaults_fg)});
+  table.AddRow({"I/O requests", std::to_string(r.io_requests)});
+  table.AddRow({"I/O volume", Table::Num(static_cast<double>(r.io_bytes) / kMiB) + " MiB"});
+  table.AddRow({"CPU utilization", Table::Pct(r.cpu_util)});
+  table.AddRow({"freezes / thaws", std::to_string(r.freezes) + " / " + std::to_string(r.thaws)});
+  table.AddRow({"LMK kills", std::to_string(r.lmk_kills)});
+  table.AddRow({"free memory",
+                Table::Num(PagesToMiB(exp.mm().free_pages() < 0
+                                          ? 0
+                                          : static_cast<PageCount>(exp.mm().free_pages())),
+                           0) +
+                    " MiB"});
+  table.Print();
+
+  if (opts.series) {
+    std::printf("per-second FPS: ");
+    for (double f : r.fps_series) {
+      std::printf("%.0f ", f);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Scenario deep-dive: reproduce the paper's root-cause analysis (§2.2.3) on
+// one scenario. Runs a WhatsApp-style video call on a P20-class device in
+// four background configurations and prints the FPS timeline plus the
+// memory-activity counters that explain it.
+//
+//   $ ./video_call_study
+#include <cstdio>
+
+#include "src/harness/experiment.h"
+#include "src/metrics/report.h"
+#include "src/workload/synthetic.h"
+
+int main() {
+  using namespace ice;
+
+  Table summary({"BG case", "avg FPS", "RIA", "reclaims", "refaults", "BG refaults"});
+
+  for (const char* bg_case : {"BG-null", "BG-apps", "BG-cputester", "BG-memtester"}) {
+    ExperimentConfig config;
+    config.device = P20Profile();
+    config.seed = 99;
+    Experiment exp(config);
+    Uid fg = exp.UidOf("WhatsApp");
+
+    if (std::string(bg_case) == "BG-apps") {
+      exp.CacheBackgroundApps(8, {fg});
+    } else if (std::string(bg_case) == "BG-cputester") {
+      InstallCputester(exp.am(), 0.20, exp.config().device.num_cores);
+      exp.engine().RunFor(Sec(2));
+      exp.am().MoveForegroundToBackground();
+    } else if (std::string(bg_case) == "BG-memtester") {
+      InstallMemtester(exp.am(), static_cast<uint64_t>(3500) * kMiB);
+      exp.engine().RunFor(Sec(60));
+      exp.am().MoveForegroundToBackground();
+    }
+
+    ScenarioResult r = exp.RunScenario(ScenarioKind::kVideoCall, Sec(30));
+    summary.AddRow({bg_case, Table::Num(r.avg_fps), Table::Pct(r.ria, 0),
+                    std::to_string(r.reclaims), std::to_string(r.refaults),
+                    std::to_string(r.refaults_bg)});
+
+    std::printf("%s per-second FPS: ", bg_case);
+    for (double f : r.fps_series) {
+      std::printf("%.0f ", f);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nVideo call (S-A) on P20, 30 s sampled after warmup:\n");
+  summary.Print();
+  std::printf(
+      "\nReading the table like the paper does:\n"
+      " * BG-cputester barely hurts: CPU contention is not the root cause.\n"
+      " * BG-memtester hurts some: reclaim happens, but reclaimed pages stay gone.\n"
+      " * BG-apps hurts most: reclaimed pages are re-demanded (refaults), reclaim\n"
+      "   never ends, and the render thread keeps colliding with it.\n");
+  return 0;
+}

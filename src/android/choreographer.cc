@@ -1,0 +1,62 @@
+#include "src/android/choreographer.h"
+
+#include <utility>
+
+#include "src/base/log.h"
+
+namespace ice {
+
+Choreographer::Choreographer(ActivityManager& am) : am_(am) {}
+
+Choreographer::~Choreographer() {
+  if (next_vsync_ != kInvalidEventId) {
+    am_.engine().Cancel(next_vsync_);
+  }
+}
+
+void Choreographer::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  next_vsync_ = am_.engine().ScheduleAfter(kVsyncPeriod, [this]() { OnVsync(); });
+}
+
+void Choreographer::OnVsync() {
+  Engine& engine = am_.engine();
+  next_vsync_ = engine.ScheduleAfter(kVsyncPeriod, [this]() { OnVsync(); });
+
+  if (source_ == nullptr) {
+    return;
+  }
+  App* fg = am_.foreground_app();
+  if (fg == nullptr || !am_.interactive(fg->uid())) {
+    return;  // Nothing on screen / still launching.
+  }
+  WorkQueueBehavior* render = am_.render_thread(fg->uid());
+  if (render == nullptr) {
+    return;
+  }
+  if (render->pending() >= kMaxPipelineDepth) {
+    // Pipeline saturated: this vsync produces no frame.
+    stats_.RecordDropped(engine.now());
+    return;
+  }
+  std::optional<FrameWork> frame = source_->NextFrame(engine.now());
+  if (!frame.has_value()) {
+    return;
+  }
+
+  WorkItem item;
+  item.compute_us = frame->compute_us;
+  item.touch_vpns = std::move(frame->vpns);
+  item.space = frame->space;
+  item.write = false;
+  SimTime enqueue = engine.now();
+  item.on_complete = [this, enqueue]() {
+    stats_.RecordFrame(enqueue, am_.engine().now());
+  };
+  render->Push(std::move(item));
+}
+
+}  // namespace ice

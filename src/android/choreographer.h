@@ -1,0 +1,65 @@
+// Choreographer: the 60 Hz vsync-driven frame pipeline.
+//
+// At every vsync it asks the active FrameSource (set by the running
+// scenario) for the next frame's work and enqueues it on the foreground
+// app's render thread. If the pipeline is already two frames deep the vsync
+// is dropped — the jank the user sees. Completed frames report their
+// enqueue→complete latency to FrameStats, from which FPS and RIA (§6.1's
+// metrics) are derived.
+#ifndef SRC_ANDROID_CHOREOGRAPHER_H_
+#define SRC_ANDROID_CHOREOGRAPHER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/android/activity_manager.h"
+#include "src/metrics/frame_stats.h"
+#include "src/sim/engine.h"
+
+namespace ice {
+
+struct FrameWork {
+  SimDuration compute_us = Ms(8);
+  std::vector<uint32_t> vpns;
+  AddressSpace* space = nullptr;
+};
+
+class FrameSource {
+ public:
+  virtual ~FrameSource() = default;
+  // Work for the frame at `vsync`, or nullopt when the app is idle.
+  virtual std::optional<FrameWork> NextFrame(SimTime vsync) = 0;
+};
+
+class Choreographer {
+ public:
+  explicit Choreographer(ActivityManager& am);
+  ~Choreographer();
+
+  // Starts the vsync clock (idempotent).
+  void Start();
+
+  // Sets the frame producer; nullptr idles the pipeline.
+  void SetSource(FrameSource* source) { source_ = source; }
+
+  FrameStats& stats() { return stats_; }
+
+  // Frames in flight on the render thread beyond which vsyncs drop. Depth 1
+  // means a slow frame causes dropped vsyncs (visible jank) rather than a
+  // growing latency queue — matching how the Android pipeline invalidates.
+  static constexpr size_t kMaxPipelineDepth = 1;
+
+ private:
+  void OnVsync();
+
+  ActivityManager& am_;
+  FrameSource* source_ = nullptr;
+  FrameStats stats_;
+  bool started_ = false;
+  EventId next_vsync_ = kInvalidEventId;
+};
+
+}  // namespace ice
+
+#endif  // SRC_ANDROID_CHOREOGRAPHER_H_

@@ -1,0 +1,42 @@
+#include "src/android/device_profile.h"
+
+#include "src/storage/flash_profiles.h"
+
+namespace ice {
+
+DeviceProfile Pixel3Profile() {
+  DeviceProfile d;
+  d.name = "Pixel3";
+  d.num_cores = 8;
+  d.mdt_hwm_mib = 256;
+  d.full_pressure_bg_apps = 6;
+  d.footprint_scale = 0.95;
+
+  d.mem.total_pages = BytesToPages(4 * kGiB);
+  // Kernel, HALs, framework, SurfaceFlinger, systemui residency.
+  d.mem.os_reserved_pages = BytesToPages(1600 * kMiB);
+  d.mem.wm = Watermarks::FromHigh(BytesToPages(120 * kMiB));
+  d.mem.zram.capacity_bytes = 512 * kMiB;
+
+  d.flash = Emmc51Profile();
+  return d;
+}
+
+DeviceProfile P20Profile() {
+  DeviceProfile d;
+  d.name = "P20";
+  d.num_cores = 8;
+  d.mdt_hwm_mib = 1024;
+  d.full_pressure_bg_apps = 8;
+  d.footprint_scale = 1.22;
+
+  d.mem.total_pages = BytesToPages(6 * kGiB);
+  d.mem.os_reserved_pages = BytesToPages(2200 * kMiB);
+  d.mem.wm = Watermarks::FromHigh(BytesToPages(160 * kMiB));
+  d.mem.zram.capacity_bytes = 1024 * kMiB;
+
+  d.flash = Ufs21Profile();
+  return d;
+}
+
+}  // namespace ice

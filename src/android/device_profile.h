@@ -1,0 +1,38 @@
+// Device profiles for the two evaluation phones (§5.1 / Table 4).
+#ifndef SRC_ANDROID_DEVICE_PROFILE_H_
+#define SRC_ANDROID_DEVICE_PROFILE_H_
+
+#include <string>
+
+#include "src/mem/memory_manager.h"
+#include "src/storage/block_device.h"
+
+namespace ice {
+
+struct DeviceProfile {
+  std::string name;
+  int num_cores = 8;
+  MemConfig mem;
+  FlashProfile flash;
+  // Table 4's high-watermark parameter (MiB). This is H_wm in MDT's Eq. 1 —
+  // the pressure reference point — distinct from the kernel's zone reclaim
+  // watermarks in `mem.wm`, which are far smaller on real devices.
+  uint64_t mdt_hwm_mib = 256;
+  // BG apps cached "to fully fill the memory" in the paper's Fig. 8 setup.
+  int full_pressure_bg_apps = 6;
+  // Apps on a 4 GB device are configured leaner than on a 6 GB flagship;
+  // applied multiplicatively to the workload's footprint scale.
+  double footprint_scale = 1.0;
+};
+
+// Google Pixel3: Snapdragon 845, 4 GB DDR4, 64 GB eMMC 5.1, Android 10.
+// ZRAM 512 MB, high watermark 256 (Table 4).
+DeviceProfile Pixel3Profile();
+
+// HUAWEI P20: Kirin 970, 6 GB DDR4, 64 GB UFS 2.1, Android 9.
+// ZRAM 1024 MB, high watermark 1024 (Table 4).
+DeviceProfile P20Profile();
+
+}  // namespace ice
+
+#endif  // SRC_ANDROID_DEVICE_PROFILE_H_

@@ -1,0 +1,44 @@
+// Baseline system load: kernel threads (kswapd, kworkers) and Android
+// framework services (binder workers, system_server, surfaceflinger, ...).
+//
+// §2.2.3's Table 1 measures ~43 % average CPU utilization with no apps at
+// all ("the Linux kernel and Android framework's tasks take up the CPU
+// resources"); this module reproduces that baseline with a set of periodic
+// service tasks, and owns the kswapd kernel thread.
+#ifndef SRC_ANDROID_SYSTEM_SERVICES_H_
+#define SRC_ANDROID_SYSTEM_SERVICES_H_
+
+#include <vector>
+
+#include "src/mem/memory_manager.h"
+#include "src/proc/scheduler.h"
+#include "src/proc/task.h"
+
+namespace ice {
+
+struct SystemServicesConfig {
+  // Number of periodic framework/kernel service tasks.
+  int service_tasks = 14;
+  // Each task runs `duty * period` of CPU every `period`.
+  SimDuration period = Ms(24);
+  double duty = 0.245;
+  // Period jitter fraction.
+  double jitter = 0.35;
+};
+
+class SystemServices {
+ public:
+  SystemServices(Scheduler& scheduler, MemoryManager& mm,
+                 const SystemServicesConfig& config = {});
+
+  Task* kswapd() const { return kswapd_; }
+  const std::vector<Task*>& service_tasks() const { return tasks_; }
+
+ private:
+  Task* kswapd_ = nullptr;
+  std::vector<Task*> tasks_;
+};
+
+}  // namespace ice
+
+#endif  // SRC_ANDROID_SYSTEM_SERVICES_H_

@@ -1,0 +1,159 @@
+// Intrusive doubly-linked list, the classic kernel idiom used by the LRU
+// lists and scheduler run queues.
+//
+// An element embeds a ListNode (possibly several, via tags) and can be
+// linked/unlinked in O(1) without any allocation. Unlike std::list, moving an
+// element between lists never invalidates the element itself, and membership
+// can be tested cheaply — both properties the memory manager relies on when
+// pages migrate between active/inactive lists during reclaim.
+#ifndef SRC_BASE_INTRUSIVE_LIST_H_
+#define SRC_BASE_INTRUSIVE_LIST_H_
+
+#include <cstddef>
+#include <typeinfo>
+
+#include "src/base/log.h"
+
+namespace ice {
+
+struct DefaultListTag {};
+
+// Embed one of these per list the object can be on.
+template <typename Tag = DefaultListTag>
+class ListNode {
+ public:
+  ListNode() = default;
+  ~ListNode() {
+    ICE_CHECK(!linked()) << "destroying a linked ListNode tag=" << typeid(Tag).name();
+  }
+
+  ListNode(const ListNode&) = delete;
+  ListNode& operator=(const ListNode&) = delete;
+
+  bool linked() const { return next_ != nullptr; }
+
+ private:
+  template <typename T, typename U>
+  friend class IntrusiveList;
+
+  ListNode* prev_ = nullptr;
+  ListNode* next_ = nullptr;
+};
+
+// T must derive from (or contain as base) ListNode<Tag>.
+template <typename T, typename Tag = DefaultListTag>
+class IntrusiveList {
+ public:
+  using Node = ListNode<Tag>;
+
+  IntrusiveList() {
+    head_.prev_ = &head_;
+    head_.next_ = &head_;
+  }
+
+  ~IntrusiveList() {
+    Clear();
+    // Neutralize the self-referencing sentinel so its own ~ListNode check
+    // (which guards real elements) does not fire.
+    head_.prev_ = nullptr;
+    head_.next_ = nullptr;
+  }
+
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  bool empty() const { return head_.next_ == &head_; }
+  size_t size() const { return size_; }
+
+  void PushBack(T* item) { InsertBefore(&head_, item); }
+  void PushFront(T* item) { InsertBefore(head_.next_, item); }
+
+  T* Front() const { return empty() ? nullptr : FromNode(head_.next_); }
+  T* Back() const { return empty() ? nullptr : FromNode(head_.prev_); }
+
+  // Removes and returns the front element, or nullptr when empty.
+  T* PopFront() {
+    if (empty()) {
+      return nullptr;
+    }
+    T* item = Front();
+    Remove(item);
+    return item;
+  }
+
+  T* PopBack() {
+    if (empty()) {
+      return nullptr;
+    }
+    T* item = Back();
+    Remove(item);
+    return item;
+  }
+
+  void Remove(T* item) {
+    Node* n = AsNode(item);
+    ICE_CHECK(n->linked()) << "removing unlinked item";
+    n->prev_->next_ = n->next_;
+    n->next_->prev_ = n->prev_;
+    n->prev_ = nullptr;
+    n->next_ = nullptr;
+    --size_;
+  }
+
+  // Rotates the front element to the back (used when a reclaim scan decides
+  // to keep a page).
+  void RotateFrontToBack() {
+    T* item = PopFront();
+    if (item != nullptr) {
+      PushBack(item);
+    }
+  }
+
+  static bool IsLinked(const T* item) { return AsNode(item)->linked(); }
+
+  void Clear() {
+    while (!empty()) {
+      PopFront();
+    }
+  }
+
+  // Minimal forward iteration support (range-for).
+  class Iterator {
+   public:
+    explicit Iterator(Node* n) : node_(n) {}
+    T* operator*() const { return FromNode(node_); }
+    Iterator& operator++() {
+      node_ = node_->next_;
+      return *this;
+    }
+    bool operator!=(const Iterator& other) const { return node_ != other.node_; }
+
+   private:
+    Node* node_;
+  };
+
+  Iterator begin() { return Iterator(head_.next_); }
+  Iterator end() { return Iterator(&head_); }
+
+ private:
+  static Node* AsNode(T* item) { return static_cast<Node*>(item); }
+  static const Node* AsNode(const T* item) { return static_cast<const Node*>(item); }
+  static T* FromNode(Node* n) { return static_cast<T*>(n); }
+
+  void InsertBefore(Node* pos, T* item) {
+    Node* n = AsNode(item);
+    ICE_CHECK(!n->linked()) << "inserting already linked item";
+    n->prev_ = pos->prev_;
+    n->next_ = pos;
+    pos->prev_->next_ = n;
+    pos->prev_ = n;
+    ++size_;
+  }
+
+  Node head_;
+  size_t size_ = 0;
+};
+
+}  // namespace ice
+
+#endif  // SRC_BASE_INTRUSIVE_LIST_H_

@@ -1,0 +1,74 @@
+// Named monotonic counters, the simulator's equivalent of /proc/vmstat.
+//
+// Subsystems increment counters through a shared StatsRegistry owned by the
+// simulation; experiments snapshot and diff them to produce table rows.
+#ifndef SRC_BASE_STATS_H_
+#define SRC_BASE_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ice {
+
+class StatsRegistry {
+ public:
+  StatsRegistry() = default;
+
+  // Returns a stable pointer to the named counter; creating it (0) if absent.
+  // Pointers remain valid for the registry's lifetime.
+  uint64_t* Counter(const std::string& name);
+
+  void Add(const std::string& name, uint64_t delta) { *Counter(name) += delta; }
+  void Increment(const std::string& name) { Add(name, 1); }
+
+  uint64_t Get(const std::string& name) const;
+
+  // Snapshot of all counters (sorted by name).
+  std::map<std::string, uint64_t> Snapshot() const;
+
+  // Difference of two snapshots, counter-by-counter (new counters included).
+  static std::map<std::string, uint64_t> Diff(const std::map<std::string, uint64_t>& before,
+                                              const std::map<std::string, uint64_t>& after);
+
+  void Reset();
+
+  std::string ToString() const;
+
+ private:
+  // std::map keeps pointer stability on insert.
+  std::map<std::string, uint64_t> counters_;
+};
+
+// Well-known counter names, shared between subsystems and experiments.
+namespace stat {
+inline constexpr const char* kPagesReclaimed = "mem.pages_reclaimed";
+inline constexpr const char* kPagesReclaimedAnon = "mem.pages_reclaimed_anon";
+inline constexpr const char* kPagesReclaimedFile = "mem.pages_reclaimed_file";
+inline constexpr const char* kRefaults = "mem.refaults";
+inline constexpr const char* kRefaultsFg = "mem.refaults_fg";
+inline constexpr const char* kRefaultsBg = "mem.refaults_bg";
+inline constexpr const char* kRefaultsAnon = "mem.refaults_anon";
+inline constexpr const char* kRefaultsFile = "mem.refaults_file";
+inline constexpr const char* kRefaultsJavaHeap = "mem.refaults_java_heap";
+inline constexpr const char* kRefaultsNativeHeap = "mem.refaults_native_heap";
+inline constexpr const char* kPageFaults = "mem.page_faults";
+inline constexpr const char* kDirectReclaims = "mem.direct_reclaims";
+inline constexpr const char* kKswapdWakeups = "mem.kswapd_wakeups";
+inline constexpr const char* kZramStores = "mem.zram_stores";
+inline constexpr const char* kZramLoads = "mem.zram_loads";
+inline constexpr const char* kIoReads = "io.reads";
+inline constexpr const char* kIoWrites = "io.writes";
+inline constexpr const char* kIoReadBytes = "io.read_bytes";
+inline constexpr const char* kIoWriteBytes = "io.write_bytes";
+inline constexpr const char* kLmkKills = "proc.lmk_kills";
+inline constexpr const char* kFreezes = "ice.freezes";
+inline constexpr const char* kThaws = "ice.thaws";
+inline constexpr const char* kColdLaunches = "android.cold_launches";
+inline constexpr const char* kHotLaunches = "android.hot_launches";
+}  // namespace stat
+
+}  // namespace ice
+
+#endif  // SRC_BASE_STATS_H_

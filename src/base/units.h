@@ -1,0 +1,56 @@
+// Basic unit types and literal helpers shared across the simulator.
+//
+// All simulated time is expressed in microseconds (SimTime). All memory sizes
+// are expressed either in bytes (uint64_t) or in 4 KiB pages (PageCount).
+#ifndef SRC_BASE_UNITS_H_
+#define SRC_BASE_UNITS_H_
+
+#include <cstdint>
+
+namespace ice {
+
+// Simulated time in microseconds since simulation start.
+using SimTime = uint64_t;
+// A duration in microseconds.
+using SimDuration = uint64_t;
+
+inline constexpr SimDuration kMicrosecond = 1;
+inline constexpr SimDuration kMillisecond = 1000;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+inline constexpr SimDuration kMinute = 60 * kSecond;
+inline constexpr SimDuration kHour = 60 * kMinute;
+
+constexpr SimDuration Us(uint64_t n) { return n; }
+constexpr SimDuration Ms(uint64_t n) { return n * kMillisecond; }
+constexpr SimDuration Sec(uint64_t n) { return n * kSecond; }
+constexpr SimDuration Min(uint64_t n) { return n * kMinute; }
+
+constexpr double ToSeconds(SimDuration d) { return static_cast<double>(d) / kSecond; }
+constexpr double ToMilliseconds(SimDuration d) { return static_cast<double>(d) / kMillisecond; }
+
+// Memory sizes.
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+// The simulator models 4 KiB pages, matching ARM64 Android defaults.
+inline constexpr uint64_t kPageSize = 4 * kKiB;
+
+using PageCount = uint64_t;
+
+constexpr PageCount BytesToPages(uint64_t bytes) { return (bytes + kPageSize - 1) / kPageSize; }
+constexpr uint64_t PagesToBytes(PageCount pages) { return pages * kPageSize; }
+constexpr double PagesToMiB(PageCount pages) {
+  return static_cast<double>(PagesToBytes(pages)) / static_cast<double>(kMiB);
+}
+
+// Process / application identifiers, mirroring Linux pid_t and Android UIDs.
+using Pid = int32_t;
+using Uid = int32_t;
+
+inline constexpr Pid kInvalidPid = -1;
+inline constexpr Uid kInvalidUid = -1;
+
+}  // namespace ice
+
+#endif  // SRC_BASE_UNITS_H_

@@ -1,0 +1,165 @@
+#include "src/harness/experiment.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+#include "src/workload/bg_activity.h"
+
+namespace ice {
+
+Experiment::Experiment(const ExperimentConfig& config) : config_(config) {
+  RegisterIceScheme();
+  config_.tuning.footprint_scale *= config_.device.footprint_scale;
+  if (config_.ice.hwm_mib == 0) {
+    // Table 4: H_wm for Eq. 1 comes from the device configuration.
+    config_.ice.hwm_mib = config_.device.mdt_hwm_mib;
+  }
+
+  engine_ = std::make_unique<Engine>(config_.seed);
+  storage_ = std::make_unique<BlockDevice>(*engine_, config_.device.flash);
+  mm_ = std::make_unique<MemoryManager>(*engine_, config_.device.mem, storage_.get());
+  scheduler_ = std::make_unique<Scheduler>(*engine_, *mm_, config_.device.num_cores);
+  services_ = std::make_unique<SystemServices>(*scheduler_, *mm_, config_.services);
+  freezer_ = std::make_unique<Freezer>(*engine_);
+  lmk_ = std::make_unique<Lmk>(*engine_, *mm_);
+  am_ = std::make_unique<ActivityManager>(*engine_, *scheduler_, *mm_, *freezer_);
+  choreographer_ = std::make_unique<Choreographer>(*am_);
+
+  lmk_->set_kill_fn([this]() { return am_->KillOneCached(); });
+  lmk_->InstallOomHandler();
+  lmk_->set_minfree_pages(BytesToPages(110 * kMiB));
+  lmk_->set_psi_refaults_per_sec(9000.0);
+
+  // Install the catalog.
+  if (config_.extended_catalog) {
+    Rng catalog_rng = engine_->rng().Fork();
+    catalog_ = ExtendedCatalog(catalog_rng, config_.tuning);
+  } else {
+    catalog_ = DefaultCatalog(config_.tuning);
+  }
+  for (const CatalogApp& app : catalog_) {
+    App* installed = am_->Install(app.descriptor);
+    catalog_uids_.push_back(installed->uid());
+  }
+
+  // Background-activity factory: looks up the launched app in the catalog.
+  bool disable_gc = config_.disable_gc;
+  am_->set_bg_task_factory([this, disable_gc](ActivityManager& am, App& app) {
+    const CatalogApp* entry = FindInCatalog(catalog_, app.package());
+    if (entry != nullptr) {
+      AttachBgActivity(am, app, entry->bg, disable_gc);
+    }
+  });
+
+  // Install the policy.
+  if (config_.scheme == "ice") {
+    auto daemon = std::make_unique<IceDaemon>(config_.ice);
+    scheme_ = std::move(daemon);
+  } else {
+    scheme_ = MakeScheme(config_.scheme);
+  }
+  SystemRefs refs;
+  refs.engine = engine_.get();
+  refs.mm = mm_.get();
+  refs.scheduler = scheduler_.get();
+  refs.freezer = freezer_.get();
+  refs.am = am_.get();
+  refs.storage = storage_.get();
+  scheme_->Install(refs);
+
+  // Let the base system settle (services reach steady state).
+  engine_->RunFor(Sec(2));
+}
+
+Experiment::~Experiment() = default;
+
+Uid Experiment::UidOf(const std::string& package) const {
+  for (size_t i = 0; i < catalog_.size(); ++i) {
+    if (catalog_[i].descriptor.package == package) {
+      return catalog_uids_[i];
+    }
+  }
+  ICE_CHECK(false) << "package not installed: " << package;
+  return kInvalidUid;
+}
+
+std::vector<Uid> Experiment::CatalogUids() const { return catalog_uids_; }
+
+void Experiment::AwaitInteractive(Uid uid, SimDuration timeout) {
+  SimTime deadline = engine_->now() + timeout;
+  while (!am_->interactive(uid) && engine_->now() < deadline) {
+    engine_->RunFor(Ms(50));
+  }
+}
+
+std::vector<Uid> Experiment::CacheBackgroundApps(int n, const std::vector<Uid>& exclude,
+                                                 SimDuration settle) {
+  std::vector<Uid> pool;
+  for (Uid uid : catalog_uids_) {
+    if (std::find(exclude.begin(), exclude.end(), uid) == exclude.end()) {
+      pool.push_back(uid);
+    }
+  }
+  engine_->rng().Shuffle(pool);
+  ICE_CHECK_LE(static_cast<size_t>(n), pool.size());
+  pool.resize(static_cast<size_t>(n));
+
+  for (Uid uid : pool) {
+    am_->Launch(uid);
+    AwaitInteractive(uid, Sec(20));
+    engine_->RunFor(settle);
+  }
+  am_->MoveForegroundToBackground();
+  engine_->RunFor(Sec(1));
+  return pool;
+}
+
+ScenarioResult Experiment::RunScenario(ScenarioKind kind, SimDuration duration,
+                                       SimDuration warmup) {
+  return RunScenarioForApp(UidOf(ScenarioPackage(kind)), kind, duration, warmup);
+}
+
+ScenarioResult Experiment::RunScenarioForApp(Uid uid, ScenarioKind kind,
+                                             SimDuration duration, SimDuration warmup) {
+  am_->Launch(uid);
+  AwaitInteractive(uid, Sec(30));
+
+  Scenario scenario(*am_, uid, kind, engine_->rng().Fork());
+  choreographer_->SetSource(&scenario);
+  choreographer_->Start();
+  if (warmup > 0) {
+    engine_->RunFor(warmup);
+  }
+  choreographer_->stats().Clear();
+
+  auto stats_before = engine_->stats().Snapshot();
+  uint64_t busy_before = scheduler_->busy_us();
+  uint64_t cap_before = scheduler_->capacity_us();
+  SimTime begin = engine_->now();
+
+  engine_->RunFor(duration);
+
+  SimTime end = engine_->now();
+  choreographer_->SetSource(nullptr);
+  auto delta = StatsRegistry::Diff(stats_before, engine_->stats().Snapshot());
+
+  ScenarioResult result;
+  result.avg_fps = choreographer_->stats().AverageFps(begin, end);
+  result.ria = choreographer_->stats().Ria();
+  result.fps_series = choreographer_->stats().FpsPerSecond(begin, end);
+  result.reclaims = delta[stat::kPagesReclaimed];
+  result.refaults = delta[stat::kRefaults];
+  result.refaults_bg = delta[stat::kRefaultsBg];
+  result.refaults_fg = delta[stat::kRefaultsFg];
+  result.io_requests = delta[stat::kIoReads] + delta[stat::kIoWrites];
+  result.io_bytes = delta[stat::kIoReadBytes] + delta[stat::kIoWriteBytes];
+  result.freezes = delta[stat::kFreezes];
+  result.thaws = delta[stat::kThaws];
+  result.lmk_kills = delta[stat::kLmkKills];
+  uint64_t cap = scheduler_->capacity_us() - cap_before;
+  result.cpu_util =
+      cap == 0 ? 0.0 : static_cast<double>(scheduler_->busy_us() - busy_before) / cap;
+  return result;
+}
+
+}  // namespace ice

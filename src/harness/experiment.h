@@ -1,0 +1,123 @@
+// Experiment harness: builds a complete simulated device (engine, flash,
+// memory manager, scheduler, system services, freezer, LMK, activity
+// manager, choreographer), installs the app catalog and a policy scheme, and
+// provides the common drivers the benches and tests share (cache N
+// background apps, run scenario X in the foreground, collect metrics).
+#ifndef SRC_HARNESS_EXPERIMENT_H_
+#define SRC_HARNESS_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/android/activity_manager.h"
+#include "src/android/choreographer.h"
+#include "src/android/device_profile.h"
+#include "src/android/system_services.h"
+#include "src/ice/daemon.h"
+#include "src/mem/memory_manager.h"
+#include "src/metrics/frame_stats.h"
+#include "src/policy/registry.h"
+#include "src/proc/freezer.h"
+#include "src/proc/lmk.h"
+#include "src/proc/scheduler.h"
+#include "src/sim/engine.h"
+#include "src/storage/block_device.h"
+#include "src/workload/app_catalog.h"
+#include "src/workload/scenario.h"
+
+namespace ice {
+
+struct ExperimentConfig {
+  DeviceProfile device;
+  uint64_t seed = 42;
+  // "lru_cfs", "ucsg", "acclaim", "power", "ice".
+  std::string scheme = "lru_cfs";
+  WorkloadTuning tuning;
+  bool extended_catalog = false;  // 40 apps (§3.2 study) instead of 20.
+  bool disable_gc = false;        // The "idle runtime GC off" experiment.
+  SystemServicesConfig services;
+  // Optional override of ICE parameters (used by the MDT ablation).
+  IceConfig ice;
+
+  ExperimentConfig() : device(P20Profile()) {}
+};
+
+// Metrics over one foreground-scenario window.
+struct ScenarioResult {
+  double avg_fps = 0.0;
+  double ria = 0.0;
+  std::vector<double> fps_series;  // Per-second.
+  uint64_t reclaims = 0;
+  uint64_t refaults = 0;
+  uint64_t refaults_bg = 0;
+  uint64_t refaults_fg = 0;
+  uint64_t io_requests = 0;
+  uint64_t io_bytes = 0;
+  double cpu_util = 0.0;
+  uint64_t freezes = 0;
+  uint64_t thaws = 0;
+  uint64_t lmk_kills = 0;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(const ExperimentConfig& config);
+  ~Experiment();
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  Engine& engine() { return *engine_; }
+  BlockDevice& storage() { return *storage_; }
+  MemoryManager& mm() { return *mm_; }
+  Scheduler& scheduler() { return *scheduler_; }
+  Freezer& freezer() { return *freezer_; }
+  Lmk& lmk() { return *lmk_; }
+  ActivityManager& am() { return *am_; }
+  Choreographer& choreographer() { return *choreographer_; }
+  Scheme& scheme() { return *scheme_; }
+  const ExperimentConfig& config() const { return config_; }
+  const std::vector<CatalogApp>& catalog() const { return catalog_; }
+
+  // Uid of an installed catalog app by package name (aborts when missing).
+  Uid UidOf(const std::string& package) const;
+  // All installed catalog uids, in catalog order.
+  std::vector<Uid> CatalogUids() const;
+
+  // Launches `n` catalog apps (chosen pseudo-randomly, excluding `exclude`)
+  // and sends each to the background after `settle` of foreground time.
+  std::vector<Uid> CacheBackgroundApps(int n, const std::vector<Uid>& exclude = {},
+                                       SimDuration settle = Ms(2500));
+
+  // Launches the scenario's own app in the foreground and runs the scenario
+  // for `warmup + duration`, measuring only over the final `duration` — the
+  // warmup brings the memory system to its hot steady state, like the
+  // paper's sampled periods from long-running sessions.
+  ScenarioResult RunScenario(ScenarioKind kind, SimDuration duration,
+                             SimDuration warmup = Sec(240));
+  ScenarioResult RunScenarioForApp(Uid uid, ScenarioKind kind, SimDuration duration,
+                                   SimDuration warmup = Sec(240));
+
+  // Runs until the app's pending launch completes (bounded wait).
+  void AwaitInteractive(Uid uid, SimDuration timeout = Sec(30));
+
+ private:
+  ExperimentConfig config_;
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<BlockDevice> storage_;
+  std::unique_ptr<MemoryManager> mm_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<SystemServices> services_;
+  std::unique_ptr<Freezer> freezer_;
+  std::unique_ptr<Lmk> lmk_;
+  std::unique_ptr<ActivityManager> am_;
+  std::unique_ptr<Choreographer> choreographer_;
+  std::unique_ptr<Scheme> scheme_;
+  std::vector<CatalogApp> catalog_;
+  std::vector<Uid> catalog_uids_;
+};
+
+}  // namespace ice
+
+#endif  // SRC_HARNESS_EXPERIMENT_H_

@@ -1,0 +1,119 @@
+#include "src/ice/mapping_table.h"
+
+#include <algorithm>
+
+namespace ice {
+
+MappingTable::AppEntry* MappingTable::FindMutable(Uid uid) {
+  for (AppEntry& e : entries_) {
+    if (e.uid == uid) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+const MappingTable::AppEntry* MappingTable::Find(Uid uid) const {
+  for (const AppEntry& e : entries_) {
+    if (e.uid == uid) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+bool MappingTable::AddApp(Uid uid) {
+  if (FindMutable(uid) != nullptr) {
+    return true;  // Idempotent.
+  }
+  if (MemoryFootprintBytes() + kUidEntryBytes > kUpperBoundBytes) {
+    return false;
+  }
+  AppEntry e;
+  e.uid = uid;
+  entries_.push_back(std::move(e));
+  return true;
+}
+
+bool MappingTable::RemoveApp(Uid uid) {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].uid == uid) {
+      entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MappingTable::AddProcess(Uid uid, Pid pid, int score) {
+  AppEntry* e = FindMutable(uid);
+  if (e == nullptr) {
+    return false;
+  }
+  for (ProcessEntry& p : e->processes) {
+    if (p.pid == pid) {
+      p.score = score;
+      return true;
+    }
+  }
+  if (MemoryFootprintBytes() + kPidEntryBytes > kUpperBoundBytes) {
+    return false;
+  }
+  e->processes.push_back(ProcessEntry{pid, score});
+  return true;
+}
+
+bool MappingTable::RemoveProcess(Uid uid, Pid pid) {
+  AppEntry* e = FindMutable(uid);
+  if (e == nullptr) {
+    return false;
+  }
+  auto it = std::remove_if(e->processes.begin(), e->processes.end(),
+                           [pid](const ProcessEntry& p) { return p.pid == pid; });
+  if (it == e->processes.end()) {
+    return false;
+  }
+  e->processes.erase(it, e->processes.end());
+  return true;
+}
+
+bool MappingTable::SetScore(Uid uid, int score) {
+  AppEntry* e = FindMutable(uid);
+  if (e == nullptr) {
+    return false;
+  }
+  for (ProcessEntry& p : e->processes) {
+    p.score = score;
+  }
+  return true;
+}
+
+bool MappingTable::SetFrozen(Uid uid, bool frozen) {
+  AppEntry* e = FindMutable(uid);
+  if (e == nullptr) {
+    return false;
+  }
+  e->frozen = frozen;
+  return true;
+}
+
+Uid MappingTable::UidOfPid(Pid pid) const {
+  for (const AppEntry& e : entries_) {
+    for (const ProcessEntry& p : e.processes) {
+      if (p.pid == pid) {
+        return e.uid;
+      }
+    }
+  }
+  return kInvalidUid;
+}
+
+size_t MappingTable::MemoryFootprintBytes() const {
+  size_t bytes = 0;
+  for (const AppEntry& e : entries_) {
+    bytes += kUidEntryBytes + e.processes.size() * kPidEntryBytes;
+  }
+  return bytes;
+}
+
+}  // namespace ice

@@ -1,0 +1,72 @@
+#include "src/ice/mdt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/log.h"
+
+namespace ice {
+
+Mdt::Mdt(const IceConfig& config, Engine& engine, MemoryManager& mm, Freezer& freezer,
+         ActivityManager& am)
+    : config_(config), engine_(engine), mm_(mm), freezer_(freezer), am_(am) {
+  hwm_mib_ = config_.hwm_mib != 0
+                 ? config_.hwm_mib
+                 : PagesToBytes(mm_.watermarks().high) / kMiB;
+  ICE_CHECK_GT(hwm_mib_, 0u);
+}
+
+double Mdt::CurrentR() const {
+  double sam_mib =
+      static_cast<double>(PagesToBytes(mm_.available_pages())) / static_cast<double>(kMiB);
+  sam_mib = std::max(sam_mib, 1.0);
+  double exponent = std::ceil(static_cast<double>(hwm_mib_) / sam_mib);
+  exponent = std::clamp(exponent, 1.0, 10.0);
+  return config_.delta * std::pow(2.0, exponent);
+}
+
+SimDuration Mdt::CurrentFreezeDuration() const {
+  double ef = CurrentR() * static_cast<double>(config_.thaw_duration);
+  return std::clamp(static_cast<SimDuration>(ef), config_.min_freeze, config_.max_freeze);
+}
+
+void Mdt::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  BeginFreezePeriod();
+}
+
+void Mdt::OnAppFrozen(Uid uid) { managed_.insert(uid); }
+
+void Mdt::Unmanage(Uid uid) { managed_.erase(uid); }
+
+void Mdt::BeginFreezePeriod() {
+  ++epochs_;
+  in_thaw_period_ = false;
+  // Freeze every managed app (those RPF froze during the thaw period are
+  // already frozen; this refreezes apps thawed for the period).
+  for (Uid uid : managed_) {
+    App* app = am_.FindApp(uid);
+    if (app != nullptr && app->running() && app->state() != AppState::kForeground) {
+      freezer_.FreezeApp(*app);
+    }
+  }
+  // E_f is recomputed at the start of every epoch from current memory state.
+  SimDuration ef = CurrentFreezeDuration();
+  engine_.ScheduleAfter(ef, [this]() { BeginThawPeriod(); });
+}
+
+void Mdt::BeginThawPeriod() {
+  in_thaw_period_ = true;
+  for (Uid uid : managed_) {
+    App* app = am_.FindApp(uid);
+    if (app != nullptr && app->frozen()) {
+      freezer_.ThawApp(*app);
+    }
+  }
+  engine_.ScheduleAfter(config_.thaw_duration, [this]() { BeginFreezePeriod(); });
+}
+
+}  // namespace ice

@@ -1,0 +1,86 @@
+#include "src/ice/procfs.h"
+
+#include <sstream>
+
+namespace ice {
+
+bool IceProcFs::Write(const std::string& record) {
+  std::istringstream in(record);
+  std::string op;
+  if (!(in >> op)) {
+    ++writes_rejected_;
+    return false;
+  }
+
+  auto finish = [this](bool ok) {
+    if (ok) {
+      ++writes_applied_;
+    } else {
+      ++writes_rejected_;
+    }
+    return ok;
+  };
+
+  if (op == "ADD") {
+    Uid uid;
+    if (!(in >> uid)) {
+      return finish(false);
+    }
+    return finish(table_.AddApp(uid));
+  }
+  if (op == "DEL") {
+    Uid uid;
+    if (!(in >> uid)) {
+      return finish(false);
+    }
+    return finish(table_.RemoveApp(uid));
+  }
+  if (op == "PROC") {
+    Uid uid;
+    Pid pid;
+    int adj;
+    if (!(in >> uid >> pid >> adj)) {
+      return finish(false);
+    }
+    return finish(table_.AddProcess(uid, pid, adj));
+  }
+  if (op == "EXIT") {
+    Uid uid;
+    Pid pid;
+    if (!(in >> uid >> pid)) {
+      return finish(false);
+    }
+    return finish(table_.RemoveProcess(uid, pid));
+  }
+  if (op == "ADJ") {
+    Uid uid;
+    int adj;
+    if (!(in >> uid >> adj)) {
+      return finish(false);
+    }
+    return finish(table_.SetScore(uid, adj));
+  }
+  if (op == "FREEZE") {
+    Uid uid;
+    int frozen;
+    if (!(in >> uid >> frozen)) {
+      return finish(false);
+    }
+    return finish(table_.SetFrozen(uid, frozen != 0));
+  }
+  return finish(false);
+}
+
+std::string IceProcFs::Read() const {
+  std::ostringstream out;
+  for (const MappingTable::AppEntry& app : table_.entries()) {
+    out << app.uid << " " << (app.frozen ? 1 : 0);
+    for (const MappingTable::ProcessEntry& p : app.processes) {
+      out << " " << p.pid << ":" << p.score;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ice

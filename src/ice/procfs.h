@@ -1,0 +1,53 @@
+// The /proc/{pid}/ice-mp channel (§4.2.2): "we collect the application
+// information from the Android framework and deliver it to the kernel
+// through the proc file system... When writing protocol string to the
+// /proc/{pid}/ice-mp node, this function will be called. This function
+// receives the application information (e.g., UID, PID, state) and updates
+// the mapping table."
+//
+// This module implements that protocol parser: the framework side writes
+// whitespace-separated records and the kernel side applies them to the
+// mapping table. The daemon uses the direct C++ API for speed; this channel
+// exists for fidelity, for tooling, and to bound what crosses the
+// user/kernel boundary.
+//
+// Protocol (one record per write):
+//   "ADD <uid>"                      register an application
+//   "DEL <uid>"                      remove an application (uninstall/death)
+//   "PROC <uid> <pid> <adj>"         add/refresh a process under an app
+//   "EXIT <uid> <pid>"               remove a process
+//   "ADJ <uid> <adj>"                update every process's priority score
+//   "FREEZE <uid> <0|1>"             record freeze state
+#ifndef SRC_ICE_PROCFS_H_
+#define SRC_ICE_PROCFS_H_
+
+#include <string>
+
+#include "src/ice/mapping_table.h"
+
+namespace ice {
+
+class IceProcFs {
+ public:
+  explicit IceProcFs(MappingTable& table) : table_(table) {}
+
+  // Applies one protocol record. Returns false (and changes nothing) on a
+  // malformed record or a failed table operation (e.g. the 32 KB bound).
+  bool Write(const std::string& record);
+
+  // Renders the table in /proc read format, one app per line:
+  //   "<uid> <frozen:0|1> <pid>:<adj> <pid>:<adj> ..."
+  std::string Read() const;
+
+  uint64_t writes_applied() const { return writes_applied_; }
+  uint64_t writes_rejected() const { return writes_rejected_; }
+
+ private:
+  MappingTable& table_;
+  uint64_t writes_applied_ = 0;
+  uint64_t writes_rejected_ = 0;
+};
+
+}  // namespace ice
+
+#endif  // SRC_ICE_PROCFS_H_

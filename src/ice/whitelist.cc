@@ -1,0 +1,3 @@
+// Whitelist is header-only; this TU exists so the build system has a home
+// for future out-of-line additions.
+#include "src/ice/whitelist.h"

@@ -1,0 +1,38 @@
+// The safety whitelist (§4.4): perceptible applications (foreground, music,
+// download, calls — adj <= 200) are never frozen, and vendors can pin
+// specific UIDs (antivirus, messaging) offline.
+#ifndef SRC_ICE_WHITELIST_H_
+#define SRC_ICE_WHITELIST_H_
+
+#include <cstddef>
+#include <unordered_set>
+
+#include "src/base/units.h"
+
+namespace ice {
+
+class Whitelist {
+ public:
+  explicit Whitelist(int adj_threshold = 200) : adj_threshold_(adj_threshold) {}
+
+  void AddManual(Uid uid) { manual_.insert(uid); }
+  void RemoveManual(Uid uid) { manual_.erase(uid); }
+  bool IsManual(Uid uid) const { return manual_.count(uid) > 0; }
+
+  // True when the app must not be frozen: pinned by the vendor or currently
+  // perceptible (its oom_score_adj at or below the threshold).
+  bool Protects(Uid uid, int oom_adj) const {
+    return IsManual(uid) || oom_adj <= adj_threshold_;
+  }
+
+  int adj_threshold() const { return adj_threshold_; }
+  size_t manual_size() const { return manual_.size(); }
+
+ private:
+  int adj_threshold_;
+  std::unordered_set<Uid> manual_;
+};
+
+}  // namespace ice
+
+#endif  // SRC_ICE_WHITELIST_H_

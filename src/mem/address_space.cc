@@ -1,0 +1,53 @@
+#include "src/mem/address_space.h"
+
+#include <utility>
+
+#include "src/base/log.h"
+
+namespace ice {
+
+AddressSpace::AddressSpace(Pid pid, Uid uid, std::string name, const AddressSpaceLayout& layout)
+    : pid_(pid), uid_(uid), name_(std::move(name)), layout_(layout) {
+  page_count_ = layout.total();
+  pages_ = std::make_unique<PageInfo[]>(page_count_);
+  for (uint32_t vpn = 0; vpn < page_count_; ++vpn) {
+    PageInfo& p = pages_[vpn];
+    p.owner = this;
+    p.vpn = vpn;
+    p.kind = KindOf(vpn);
+  }
+}
+
+PageInfo& AddressSpace::page(uint32_t vpn) {
+  ICE_CHECK_LT(vpn, page_count_);
+  return pages_[vpn];
+}
+
+const PageInfo& AddressSpace::page(uint32_t vpn) const {
+  ICE_CHECK_LT(vpn, page_count_);
+  return pages_[vpn];
+}
+
+HeapKind AddressSpace::KindOf(uint32_t vpn) const {
+  if (vpn < java_end()) {
+    return HeapKind::kJavaHeap;
+  }
+  if (vpn < native_end()) {
+    return HeapKind::kNativeHeap;
+  }
+  return HeapKind::kFile;
+}
+
+void AddressSpace::AddResident(int64_t delta) {
+  int64_t next = static_cast<int64_t>(resident_) + delta;
+  ICE_CHECK_GE(next, 0);
+  resident_ = static_cast<PageCount>(next);
+}
+
+void AddressSpace::AddEvicted(int64_t delta) {
+  int64_t next = static_cast<int64_t>(evicted_) + delta;
+  ICE_CHECK_GE(next, 0);
+  evicted_ = static_cast<PageCount>(next);
+}
+
+}  // namespace ice

@@ -1,0 +1,101 @@
+// A process address space: fixed-capacity page table with three regions
+// (Java heap, native heap, file-backed), populated lazily on first touch.
+//
+// Capacity is fixed at construction so PageInfo objects never move — LRU
+// lists and in-flight faults hold stable pointers into `pages_`. "Heap
+// growth" is modeled by touching previously untouched pages, which is how
+// the PUBG-style game workload allocates its 100 MB+ per battle round.
+#ifndef SRC_MEM_ADDRESS_SPACE_H_
+#define SRC_MEM_ADDRESS_SPACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "src/base/units.h"
+#include "src/mem/lru.h"
+#include "src/mem/page.h"
+
+namespace ice {
+
+struct AddressSpaceLayout {
+  PageCount java_pages = 0;
+  PageCount native_pages = 0;
+  PageCount file_pages = 0;
+
+  PageCount total() const { return java_pages + native_pages + file_pages; }
+};
+
+class AddressSpace {
+ public:
+  AddressSpace(Pid pid, Uid uid, std::string name, const AddressSpaceLayout& layout);
+
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  Pid pid() const { return pid_; }
+  Uid uid() const { return uid_; }
+  const std::string& name() const { return name_; }
+  const AddressSpaceLayout& layout() const { return layout_; }
+
+  PageCount total_pages() const { return page_count_; }
+  PageInfo& page(uint32_t vpn);
+  const PageInfo& page(uint32_t vpn) const;
+
+  // Region boundaries: [0, java) java heap, [java, java+native) native heap,
+  // [java+native, total) file-backed.
+  uint32_t java_begin() const { return 0; }
+  uint32_t java_end() const { return static_cast<uint32_t>(layout_.java_pages); }
+  uint32_t native_begin() const { return java_end(); }
+  uint32_t native_end() const { return native_begin() + static_cast<uint32_t>(layout_.native_pages); }
+  uint32_t file_begin() const { return native_end(); }
+  uint32_t file_end() const { return static_cast<uint32_t>(page_count_); }
+
+  HeapKind KindOf(uint32_t vpn) const;
+
+  // Resident (kPresent) page count, maintained by the MemoryManager.
+  PageCount resident() const { return resident_; }
+  // Pages in ZRAM or on flash (evicted but part of the working set).
+  PageCount evicted() const { return evicted_; }
+
+  // Bookkeeping used by MemoryManager only.
+  void AddResident(int64_t delta);
+  void AddEvicted(int64_t delta);
+
+  // Iterates every page (for whole-process reclaim / teardown). PageInfo
+  // objects are pinned for the AddressSpace lifetime (LRU lists hold
+  // pointers), hence the fixed array rather than a growable container.
+  std::span<PageInfo> pages() { return {pages_.get(), page_count_}; }
+
+  // Cumulative lifetime counters, maintained by the MemoryManager; used by
+  // the per-app studies (Figures 3 and 4).
+  uint64_t total_evictions = 0;
+  uint64_t total_refaults = 0;
+
+  // Readahead state: the last flash-faulting vpn. The memory manager only
+  // opens a readahead window when faults are sequential, like the kernel.
+  uint32_t last_flash_fault_vpn = UINT32_MAX;
+
+  // Per-address-space LRU lists: the memcg model. Android places each app in
+  // its own memory cgroup, and kswapd applies reclaim pressure to every
+  // cgroup proportionally — the foreground app included. That proportional
+  // scanning is what lets background churn displace foreground pages.
+  LruLists& lru() { return lru_; }
+  const LruLists& lru() const { return lru_; }
+
+ private:
+  Pid pid_;
+  Uid uid_;
+  std::string name_;
+  AddressSpaceLayout layout_;
+  std::unique_ptr<PageInfo[]> pages_;
+  size_t page_count_ = 0;
+  PageCount resident_ = 0;
+  PageCount evicted_ = 0;
+  LruLists lru_;
+};
+
+}  // namespace ice
+
+#endif  // SRC_MEM_ADDRESS_SPACE_H_

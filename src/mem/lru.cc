@@ -1,0 +1,91 @@
+#include "src/mem/lru.h"
+
+#include "src/base/log.h"
+
+namespace ice {
+
+void LruLists::Insert(PageInfo* page) {
+  ICE_CHECK(!List::IsLinked(page));
+  // Newly faulted pages start on the active list (they were just
+  // referenced); aging happens by demotion through Balance(), so the
+  // inactive list is a genuine aging pipeline rather than a parking lot.
+  page->active = true;
+  page->referenced = false;
+  list(PoolOf(*page), true).PushFront(page);
+}
+
+void LruLists::Remove(PageInfo* page) {
+  if (List::IsLinked(page)) {
+    list(PoolOf(*page), page->active).Remove(page);
+  }
+}
+
+void LruLists::Touch(PageInfo* page) {
+  if (!List::IsLinked(page)) {
+    return;
+  }
+  if (page->active) {
+    page->referenced = true;
+    return;
+  }
+  if (!page->referenced) {
+    // First touch while inactive: set the reference bit only.
+    page->referenced = true;
+    return;
+  }
+  // Second touch while inactive: promote.
+  list(PoolOf(*page), false).Remove(page);
+  page->active = true;
+  page->referenced = false;
+  list(PoolOf(*page), true).PushFront(page);
+}
+
+std::vector<PageInfo*> LruLists::IsolateCandidates(LruPool pool, uint32_t max,
+                                                   uint32_t scan_budget,
+                                                   const VictimFilter& filter) {
+  std::vector<PageInfo*> isolated;
+  List& inactive = list(pool, false);
+  List& active = list(pool, true);
+
+  uint32_t scanned = 0;
+  while (isolated.size() < max && scanned < scan_budget && !inactive.empty()) {
+    ++scanned;
+    PageInfo* page = inactive.PopBack();
+    if (page->referenced) {
+      // Second chance: promote to active.
+      page->referenced = false;
+      page->active = true;
+      active.PushFront(page);
+      continue;
+    }
+    if (filter && filter(*page)) {
+      // Protected (e.g. foreground under Acclaim): rotate to inactive head.
+      inactive.PushFront(page);
+      continue;
+    }
+    isolated.push_back(page);
+  }
+  return isolated;
+}
+
+void LruLists::Balance(LruPool pool) {
+  List& active = list(pool, true);
+  List& inactive = list(pool, false);
+  // inactive_is_low: keep inactive >= active / 2 (i.e. at least 1/3 of pool).
+  while (!active.empty() && inactive.size() * 2 < active.size()) {
+    PageInfo* page = active.PopBack();
+    page->active = false;
+    // Clear the reference bit on demotion: a genuinely hot page earns its
+    // way back to the active list through fresh references.
+    page->referenced = false;
+    inactive.PushFront(page);
+  }
+}
+
+void LruLists::PutBackInactive(PageInfo* page) {
+  ICE_CHECK(!List::IsLinked(page));
+  page->active = false;
+  list(PoolOf(*page), false).PushFront(page);
+}
+
+}  // namespace ice

@@ -1,0 +1,84 @@
+// Global page LRU lists, modeled after the classic Linux two-list design:
+// one active and one inactive list per pool (anonymous, file-backed).
+//
+// Pages enter the inactive list on first touch; a reference while inactive
+// promotes them to active on the next scan (second chance). The reclaim scan
+// isolates victims from the inactive tail. A pluggable VictimFilter lets the
+// Acclaim baseline implement foreground-aware eviction (FAE) by rotating
+// foreground pages instead of evicting them.
+#ifndef SRC_MEM_LRU_H_
+#define SRC_MEM_LRU_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/base/intrusive_list.h"
+#include "src/mem/page.h"
+
+namespace ice {
+
+enum class LruPool { kAnon, kFile };
+
+inline LruPool PoolOf(const PageInfo& page) {
+  return IsAnon(page.kind) ? LruPool::kAnon : LruPool::kFile;
+}
+
+class LruLists {
+ public:
+  // Returns true to *skip* (rotate) the candidate instead of evicting it.
+  using VictimFilter = std::function<bool(const PageInfo&)>;
+
+  LruLists() = default;
+
+  // Adds a newly-present page to the inactive head of its pool.
+  void Insert(PageInfo* page);
+
+  // Removes a page from whichever list it is on (eviction, process exit).
+  void Remove(PageInfo* page);
+
+  // Marks an access. Inactive+referenced pages are promoted to active
+  // immediately (a simplification of the kernel's mark-then-promote-on-scan
+  // that preserves the working-set-protection property).
+  void Touch(PageInfo* page);
+
+  // Isolates up to `max` eviction candidates from the inactive tail of
+  // `pool`. Referenced pages get a second chance (promoted to active,
+  // reference bit cleared). Pages rejected by `filter` are rotated to the
+  // inactive head and count against `scan_budget`. Isolated pages are
+  // unlinked from the LRU; the caller owns their fate.
+  std::vector<PageInfo*> IsolateCandidates(LruPool pool, uint32_t max, uint32_t scan_budget,
+                                           const VictimFilter& filter);
+
+  // Moves pages from the active tail to the inactive head until the inactive
+  // list holds at least half the pool (mirrors inactive_is_low balancing).
+  void Balance(LruPool pool);
+
+  // Returns a rejected candidate to the inactive head.
+  void PutBackInactive(PageInfo* page);
+
+  size_t active_size(LruPool pool) const { return list(pool, true).size(); }
+  size_t inactive_size(LruPool pool) const { return list(pool, false).size(); }
+  size_t pool_size(LruPool pool) const {
+    return active_size(pool) + inactive_size(pool);
+  }
+  size_t total_size() const {
+    return pool_size(LruPool::kAnon) + pool_size(LruPool::kFile);
+  }
+
+ private:
+  using List = IntrusiveList<PageInfo, LruTag>;
+
+  List& list(LruPool pool, bool active) {
+    return lists_[static_cast<int>(pool) * 2 + (active ? 1 : 0)];
+  }
+  const List& list(LruPool pool, bool active) const {
+    return lists_[static_cast<int>(pool) * 2 + (active ? 1 : 0)];
+  }
+
+  List lists_[4];
+};
+
+}  // namespace ice
+
+#endif  // SRC_MEM_LRU_H_

@@ -1,0 +1,305 @@
+#include "src/mem/memory_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/log.h"
+
+namespace ice {
+
+MemoryManager::MemoryManager(Engine& engine, const MemConfig& config, BlockDevice* storage)
+    : engine_(engine),
+      config_(config),
+      storage_(storage),
+      contention_rng_(engine.rng().Fork()),
+      zram_(config.zram, engine.rng().Fork()) {
+  ICE_CHECK_GT(config_.total_pages, config_.os_reserved_pages);
+  free_pages_ = static_cast<int64_t>(config_.total_pages - config_.os_reserved_pages);
+}
+
+PageCount MemoryManager::file_lru_pages() const {
+  PageCount total = 0;
+  for (const AddressSpace* space : spaces_) {
+    total += space->lru().pool_size(LruPool::kFile);
+  }
+  return total;
+}
+
+PageCount MemoryManager::available_pages() const {
+  int64_t avail = free_pages_ + static_cast<int64_t>(file_lru_pages()) / 2;
+  return avail < 0 ? 0 : static_cast<PageCount>(avail);
+}
+
+void MemoryManager::SyncZramFrames() {
+  PageCount held = BytesToPages(zram_.stored_bytes());
+  if (held > zram_frames_held_) {
+    free_pages_ -= static_cast<int64_t>(held - zram_frames_held_);
+  } else {
+    free_pages_ += static_cast<int64_t>(zram_frames_held_ - held);
+  }
+  zram_frames_held_ = held;
+}
+
+void MemoryManager::Register(AddressSpace& space) {
+  // Lazy population: pages enter the system on first touch.
+  for (PageInfo& p : space.pages()) {
+    ICE_CHECK(p.state == PageState::kUntouched);
+  }
+  spaces_.push_back(&space);
+}
+
+void MemoryManager::Release(AddressSpace& space) {
+  spaces_.erase(std::remove(spaces_.begin(), spaces_.end(), &space), spaces_.end());
+  for (PageInfo& p : space.pages()) {
+    switch (p.state) {
+      case PageState::kPresent:
+        space.lru().Remove(&p);
+        ++free_pages_;
+        break;
+      case PageState::kInZram:
+        zram_.Drop(&p);
+        SyncZramFrames();
+        break;
+      case PageState::kFaultingIn: {
+        // Abandon the in-flight fault; the completion handler no-ops once the
+        // state is reset. Waiters belong to the dying process.
+        pending_faults_.erase(FaultKey{&space, p.vpn});
+        break;
+      }
+      case PageState::kOnFlash:
+      case PageState::kUntouched:
+        break;
+    }
+    p.state = PageState::kUntouched;
+    p.dirty = false;
+    p.referenced = false;
+    p.evict_cookie = 0;
+  }
+  space.AddResident(-static_cast<int64_t>(space.resident()));
+  space.AddEvicted(-static_cast<int64_t>(space.evicted()));
+}
+
+SimDuration MemoryManager::ContentionPenalty() {
+  if (!kswapd_woken_ || config_.reclaim_contention_mean == 0) {
+    return 0;
+  }
+  return static_cast<SimDuration>(
+      contention_rng_.Exponential(static_cast<double>(config_.reclaim_contention_mean)));
+}
+
+AccessOutcome MemoryManager::Access(AddressSpace& space, uint32_t vpn, bool write,
+                                    std::function<void()> waker) {
+  AccessOutcome outcome;
+  PageInfo& p = space.page(vpn);
+  bool foreground = space.uid() == foreground_uid_ && foreground_uid_ != kInvalidUid;
+
+  switch (p.state) {
+    case PageState::kPresent:
+      space.lru().Touch(&p);
+      if (write && p.kind == HeapKind::kFile) {
+        p.dirty = true;
+      }
+      outcome.kind = AccessOutcome::Kind::kHit;
+      outcome.cpu_us = config_.hit_cost;
+      return outcome;
+
+    case PageState::kUntouched: {
+      engine_.stats().Increment(stat::kPageFaults);
+      outcome.kind = AccessOutcome::Kind::kFirstTouch;
+      outcome.cpu_us = config_.fault_fixed_cost + ContentionPenalty();
+      TakeFrame(space, outcome);
+      MakePresent(&p);
+      if (write && p.kind == HeapKind::kFile) {
+        p.dirty = true;
+      }
+      return outcome;
+    }
+
+    case PageState::kInZram: {
+      engine_.stats().Increment(stat::kPageFaults);
+      outcome.kind = AccessOutcome::Kind::kZramFault;
+      outcome.cpu_us =
+          config_.fault_fixed_cost + zram_.decompress_cost() + ContentionPenalty();
+      outcome.refault = true;
+      TakeFrame(space, outcome);
+      zram_.Drop(&p);
+      SyncZramFrames();
+      engine_.stats().Increment(stat::kZramLoads);
+      RecordRefaultStats(p, foreground);
+      shadow_.RecordRefault(&p, engine_.now(), foreground);
+      MakePresent(&p);
+      return outcome;
+    }
+
+    case PageState::kOnFlash: {
+      engine_.stats().Increment(stat::kPageFaults);
+      outcome.kind = AccessOutcome::Kind::kIoFault;
+      outcome.cpu_us = config_.fault_fixed_cost + ContentionPenalty();
+      outcome.blocked = true;
+      outcome.refault = true;
+      TakeFrame(space, outcome);
+      // The paper's RPF detects the refault at page-fault time (PTE check),
+      // before the I/O completes — so the event fires here.
+      RecordRefaultStats(p, foreground);
+      shadow_.RecordRefault(&p, engine_.now(), foreground);
+      p.state = PageState::kFaultingIn;
+
+      FaultKey key{&space, vpn};
+      auto& waiters = pending_faults_[key];
+      if (waker) {
+        waiters.push_back(std::move(waker));
+      }
+      ICE_CHECK(storage_ != nullptr) << "flash fault without a storage device";
+
+      // Readahead: only when the fault pattern is sequential (the kernel's
+      // readahead heuristic) pull the following contiguous on-flash pages in
+      // the same request. They complete together, so bulk restores (launch,
+      // content streaming) mostly hit while random faults stay single-page.
+      bool sequential = space.last_flash_fault_vpn != UINT32_MAX &&
+                        vpn >= space.last_flash_fault_vpn &&
+                        vpn - space.last_flash_fault_vpn <= 4;
+      space.last_flash_fault_vpn = vpn;
+      uint32_t window = sequential ? config_.readahead_pages : 1;
+      std::vector<uint32_t> batch_vpns{vpn};
+      for (uint32_t next = vpn + 1;
+           next < space.total_pages() && batch_vpns.size() < window; ++next) {
+        PageInfo& np = space.page(next);
+        if (np.state != PageState::kOnFlash) {
+          break;
+        }
+        engine_.stats().Increment(stat::kPageFaults);
+        RecordRefaultStats(np, foreground);
+        shadow_.RecordRefault(&np, engine_.now(), foreground);
+        TakeFrame(space, outcome);
+        np.state = PageState::kFaultingIn;
+        batch_vpns.push_back(next);
+      }
+
+      Bio bio;
+      bio.dir = IoDir::kRead;
+      bio.pages = batch_vpns.size();
+      bio.foreground = foreground;
+      bio.pid = space.pid();
+      AddressSpace* sp = &space;
+      bio.on_complete = [this, sp, batch_vpns = std::move(batch_vpns)]() {
+        for (uint32_t v : batch_vpns) {
+          FinishIoFault(sp, v);
+        }
+      };
+      storage_->Submit(bio);
+      return outcome;
+    }
+
+    case PageState::kFaultingIn: {
+      // Pile onto the in-flight read.
+      outcome.kind = AccessOutcome::Kind::kIoFault;
+      outcome.blocked = true;
+      if (waker) {
+        pending_faults_[FaultKey{&space, vpn}].push_back(std::move(waker));
+      }
+      return outcome;
+    }
+  }
+  ICE_CHECK(false) << "unreachable";
+  return outcome;
+}
+
+void MemoryManager::RecordRefaultStats(const PageInfo& p, bool foreground) {
+  StatsRegistry& st = engine_.stats();
+  st.Increment(stat::kRefaults);
+  st.Increment(foreground ? stat::kRefaultsFg : stat::kRefaultsBg);
+  st.Increment(IsAnon(p.kind) ? stat::kRefaultsAnon : stat::kRefaultsFile);
+  if (p.kind == HeapKind::kJavaHeap) {
+    st.Increment(stat::kRefaultsJavaHeap);
+  } else if (p.kind == HeapKind::kNativeHeap) {
+    st.Increment(stat::kRefaultsNativeHeap);
+  }
+  ++p.owner->total_refaults;
+}
+
+void MemoryManager::MakePresent(PageInfo* page) {
+  ICE_CHECK(page->state != PageState::kPresent);
+  bool was_evicted =
+      page->state == PageState::kInZram || page->state == PageState::kFaultingIn ||
+      page->state == PageState::kOnFlash;
+  page->state = PageState::kPresent;
+  page->owner->AddResident(1);
+  if (was_evicted) {
+    page->owner->AddEvicted(-1);
+  }
+  page->owner->lru().Insert(page);
+}
+
+void MemoryManager::FinishIoFault(AddressSpace* space, uint32_t vpn) {
+  PageInfo& p = space->page(vpn);
+  if (p.state != PageState::kFaultingIn) {
+    // Process released while the read was in flight.
+    return;
+  }
+  MakePresent(&p);
+  auto it = pending_faults_.find(FaultKey{space, vpn});
+  if (it != pending_faults_.end()) {
+    std::vector<std::function<void()>> waiters = std::move(it->second);
+    pending_faults_.erase(it);
+    for (auto& w : waiters) {
+      w();
+    }
+  }
+}
+
+void MemoryManager::TakeFrame(AddressSpace& space, AccessOutcome& outcome) {
+  (void)space;
+  if (config_.wm.NeedsDirectReclaim(free_pages_ < 0 ? 0 : static_cast<PageCount>(free_pages_)) &&
+      !in_reclaim_) {
+    // Direct reclaim: performed synchronously in the allocating task's
+    // context regardless of its priority — the priority inversion of §2.2.3.
+    engine_.stats().Increment(stat::kDirectReclaims);
+    int attempts = 0;
+    while (config_.wm.NeedsDirectReclaim(
+               free_pages_ < 0 ? 0 : static_cast<PageCount>(free_pages_)) &&
+           attempts < 8) {
+      ++attempts;
+      ReclaimResult r = ReclaimBatch(config_.reclaim_batch, /*direct=*/true);
+      outcome.cpu_us += r.cpu_us;
+      outcome.direct_reclaimed += r.reclaimed;
+      if (r.reclaimed == 0) {
+        // Reclaim cannot make progress: fall back to the OOM path (LMK).
+        if (!oom_handler_ || !oom_handler_()) {
+          break;  // Emergency allocation from the reserve below.
+        }
+      }
+    }
+  }
+  --free_pages_;
+  MaybeWakeKswapd();
+}
+
+void MemoryManager::MaybeWakeKswapd() {
+  PageCount free = free_pages_ < 0 ? 0 : static_cast<PageCount>(free_pages_);
+  if (config_.wm.NeedsKswapd(free) && !kswapd_woken_) {
+    kswapd_woken_ = true;
+    engine_.stats().Increment(stat::kKswapdWakeups);
+    if (kswapd_waker_) {
+      kswapd_waker_();
+    }
+  }
+}
+
+bool MemoryManager::KswapdShouldRun() const {
+  if (!kswapd_woken_) {
+    return false;
+  }
+  PageCount free = free_pages_ < 0 ? 0 : static_cast<PageCount>(free_pages_);
+  return !config_.wm.KswapdDone(free);
+}
+
+ReclaimResult MemoryManager::KswapdBatch() {
+  ReclaimResult r = ReclaimBatch(config_.reclaim_batch, /*direct=*/false);
+  PageCount free = free_pages_ < 0 ? 0 : static_cast<PageCount>(free_pages_);
+  if (config_.wm.KswapdDone(free) || r.reclaimed == 0) {
+    kswapd_woken_ = false;
+  }
+  return r;
+}
+
+}  // namespace ice

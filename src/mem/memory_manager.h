@@ -1,0 +1,232 @@
+// The memory manager: frame accounting, the page fault path, LRU reclaim
+// (kswapd batches and direct reclaim), ZRAM swap and file writeback/fault-in.
+//
+// This is the substrate the whole reproduction stands on. The properties the
+// paper depends on are modeled explicitly:
+//  * memory reclaiming is non-preemptive: a task that allocates below the
+//    min watermark performs direct reclaim *itself*, synchronously, no matter
+//    its priority (the priority-inversion channel of §2.2.3);
+//  * anonymous pages compress into ZRAM (CPU cost), dirty file pages write
+//    back (I/O), clean file pages are discarded (refault = flash read);
+//  * every eviction leaves a shadow entry, and a fault on a shadowed page
+//    raises a RefaultEvent classified FG/BG — the signal driving ICE.
+#ifndef SRC_MEM_MEMORY_MANAGER_H_
+#define SRC_MEM_MEMORY_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/mem/address_space.h"
+#include "src/mem/lru.h"
+#include "src/mem/page.h"
+#include "src/mem/shadow.h"
+#include "src/mem/watermark.h"
+#include "src/mem/zram.h"
+#include "src/sim/engine.h"
+#include "src/storage/block_device.h"
+
+namespace ice {
+
+struct MemConfig {
+  PageCount total_pages = BytesToPages(4 * kGiB);
+  // Kernel text/data + Android framework residency; never reclaimable.
+  PageCount os_reserved_pages = BytesToPages(1200 * kMiB);
+  Watermarks wm = Watermarks::FromHigh(BytesToPages(256 * kMiB));
+  ZramConfig zram;
+
+  // Reclaim cost model (per page unless noted), calibrated to a mobile
+  // little-core kswapd: ~70-80 MB/s sustained reclaim throughput. Slower
+  // than demand spikes (a background GC sweep refaulting tens of MB in
+  // under a second), which is what pushes the system through the min
+  // watermark into direct reclaim.
+  SimDuration scan_cost = Us(2);
+  SimDuration unmap_cost = Us(3);
+  SimDuration discard_cost = Us(1);
+  SimDuration reclaim_batch_overhead = Us(400);
+  SimDuration writeback_submit_cost = Us(4);
+  SimDuration fault_fixed_cost = Us(8);
+  SimDuration hit_cost = Us(1);
+
+  // Mean extra fault latency (exponential) while reclaim is in progress:
+  // the fault handler contends with kswapd/direct reclaim on the lru/zone
+  // locks. This is the §2.2.3 "frame rendering tasks blocked by memory
+  // reclaiming tasks" channel — it applies to every fault regardless of the
+  // faulting task's priority (the reclaim path is non-preemptive).
+  SimDuration reclaim_contention_mean = Us(450);
+
+  // Pages per reclaim batch and per coalesced writeback bio.
+  uint32_t reclaim_batch = 32;
+  uint32_t writeback_batch = 8;
+
+  // Readahead window for file fault-in: on a flash fault, up to this many
+  // contiguous on-flash pages of the same space are read in one request —
+  // bulk sequential restores (launches, content loads) then mostly hit.
+  uint32_t readahead_pages = 16;
+};
+
+struct ReclaimResult {
+  PageCount reclaimed = 0;
+  PageCount scanned = 0;
+  SimDuration cpu_us = 0;
+};
+
+// What a memory access cost the caller and whether it must block.
+struct AccessOutcome {
+  enum class Kind {
+    kHit,         // Present: LRU touch only.
+    kFirstTouch,  // Demand-zero / first file touch: minor fault.
+    kZramFault,   // Decompressed synchronously from ZRAM.
+    kIoFault,     // Flash read issued; caller must block until `waker` runs.
+  };
+  Kind kind = Kind::kHit;
+  // Synchronous CPU the caller must account for (fault handling, zram
+  // decompress, and any direct-reclaim work performed in its context).
+  SimDuration cpu_us = 0;
+  // True for kIoFault (and for faults that pile onto an in-flight read).
+  bool blocked = false;
+  // True when this access refaulted a previously evicted page.
+  bool refault = false;
+  // Pages reclaimed by direct reclaim in the caller's context (0 normally).
+  PageCount direct_reclaimed = 0;
+};
+
+class MemoryManager {
+ public:
+  MemoryManager(Engine& engine, const MemConfig& config, BlockDevice* storage);
+
+  MemoryManager(const MemoryManager&) = delete;
+  MemoryManager& operator=(const MemoryManager&) = delete;
+
+  // ---- Fault / access path -------------------------------------------------
+
+  // Performs one page access by (space, vpn). `waker` is invoked when an
+  // I/O-blocked fault completes; it may be empty for probe accesses.
+  AccessOutcome Access(AddressSpace& space, uint32_t vpn, bool write,
+                       std::function<void()> waker);
+
+  // ---- Frame accounting ----------------------------------------------------
+
+  int64_t free_pages() const { return free_pages_; }
+  // MemAvailable analog: free + half the file LRU (cheaply reclaimable).
+  PageCount available_pages() const;
+  PageCount total_pages() const { return config_.total_pages; }
+  const Watermarks& watermarks() const { return config_.wm; }
+  const MemConfig& config() const { return config_; }
+
+  // ---- Foreground tracking (set by the ActivityManager) --------------------
+
+  void set_foreground_uid(Uid uid) { foreground_uid_ = uid; }
+  Uid foreground_uid() const { return foreground_uid_; }
+
+  // ---- Reclaim -------------------------------------------------------------
+
+  // Pluggable victim filter (Acclaim's foreground-aware eviction). Returning
+  // true skips the candidate.
+  void set_victim_filter(LruLists::VictimFilter filter) { victim_filter_ = std::move(filter); }
+
+  // kswapd protocol: the mm wakes the kswapd task through this hook whenever
+  // free drops below the low watermark.
+  void set_kswapd_waker(std::function<void()> waker) { kswapd_waker_ = std::move(waker); }
+  // True while kswapd has been woken and free < high.
+  bool KswapdShouldRun() const;
+  // One background reclaim batch in kswapd context.
+  ReclaimResult KswapdBatch();
+
+  // Out-of-memory hook (LMK): invoked when reclaim cannot make progress.
+  // Must return true if it freed memory.
+  void set_oom_handler(std::function<bool()> handler) { oom_handler_ = std::move(handler); }
+
+  // Per-process reclaim (Linux per-process reclaim patch, used by the Fig. 4
+  // study and by tests): evicts every present page of `space`.
+  ReclaimResult ReclaimAllOf(AddressSpace& space);
+
+  // ---- Process lifecycle ---------------------------------------------------
+
+  // Registers a new address space; its pages join the system lazily on first
+  // touch.
+  void Register(AddressSpace& space);
+  // Releases every frame/zram slot held by `space` (process killed or exit).
+  void Release(AddressSpace& space);
+
+  // ---- Introspection -------------------------------------------------------
+
+  ShadowRegistry& shadow() { return shadow_; }
+  Zram& zram() { return zram_; }
+  Engine& engine() { return engine_; }
+  // All registered address spaces (the "memcg" set reclaim iterates).
+  const std::vector<AddressSpace*>& spaces() const { return spaces_; }
+  // Total pages on file LRUs across spaces (for MemAvailable).
+  PageCount file_lru_pages() const;
+
+  uint64_t faults_in_flight() const { return pending_faults_.size(); }
+
+ private:
+  // Takes one free frame for `space`, entering direct reclaim below the min
+  // watermark. Reclaim/OOM costs are accumulated into `outcome`.
+  void TakeFrame(AddressSpace& space, AccessOutcome& outcome);
+
+  // Core scan: isolates candidates from both pools (proportionally) and
+  // evicts up to `target` pages. Shared by kswapd and direct reclaim.
+  ReclaimResult ReclaimBatch(PageCount target, bool direct);
+
+  // Evicts one isolated page. Returns false when it could not be evicted
+  // (zram full) — the page is put back on the LRU.
+  bool EvictPage(PageInfo* page, ReclaimResult& result);
+
+  void MakePresent(PageInfo* page);
+  void RecordRefaultStats(const PageInfo& page, bool foreground);
+  void FinishIoFault(AddressSpace* space, uint32_t vpn);
+  void FlushWritebackBatch();
+  void MaybeWakeKswapd();
+
+  // Lock-contention penalty applied to fault costs while reclaim is active.
+  SimDuration ContentionPenalty();
+
+  Engine& engine_;
+  MemConfig config_;
+  BlockDevice* storage_;  // May be null in pure-memory unit tests.
+  Rng contention_rng_;
+
+  // Keeps free_pages_ in sync with the RAM the zram store itself occupies
+  // (compressed data lives in RAM — evicting an anonymous page only frees
+  // the *uncompressed minus compressed* difference).
+  void SyncZramFrames();
+
+  std::vector<AddressSpace*> spaces_;
+  size_t reclaim_cursor_ = 0;  // Rotates fairness across spaces.
+  Zram zram_;
+  PageCount zram_frames_held_ = 0;
+  ShadowRegistry shadow_;
+
+  int64_t free_pages_ = 0;
+  Uid foreground_uid_ = kInvalidUid;
+
+  LruLists::VictimFilter victim_filter_;
+  std::function<void()> kswapd_waker_;
+  std::function<bool()> oom_handler_;
+  bool kswapd_woken_ = false;
+  bool in_reclaim_ = false;  // Guards against reentrant reclaim.
+
+  // Pages with an in-flight flash read and the tasks waiting on them.
+  struct FaultKey {
+    AddressSpace* space;
+    uint32_t vpn;
+    bool operator==(const FaultKey& o) const { return space == o.space && vpn == o.vpn; }
+  };
+  struct FaultKeyHash {
+    size_t operator()(const FaultKey& k) const {
+      return std::hash<void*>()(k.space) * 31 + k.vpn;
+    }
+  };
+  std::unordered_map<FaultKey, std::vector<std::function<void()>>, FaultKeyHash> pending_faults_;
+
+  // Dirty file pages coalesced into one writeback bio.
+  PageCount writeback_pending_ = 0;
+};
+
+}  // namespace ice
+
+#endif  // SRC_MEM_MEMORY_MANAGER_H_

@@ -1,0 +1,74 @@
+// Per-page metadata, the simulator's analog of `struct page` + PTE bits.
+#ifndef SRC_MEM_PAGE_H_
+#define SRC_MEM_PAGE_H_
+
+#include <cstdint>
+
+#include "src/base/intrusive_list.h"
+#include "src/base/units.h"
+
+namespace ice {
+
+class AddressSpace;
+
+// Where the page's contents currently live.
+enum class PageState : uint8_t {
+  // Never touched; consumes no frame (analog of an unpopulated PTE).
+  kUntouched,
+  // Resident in RAM.
+  kPresent,
+  // Anonymous page compressed into ZRAM (the \_PAGE_PRESENT bit is clear and
+  // the PTE holds a swap entry).
+  kInZram,
+  // File-backed page not in the page cache: clean pages were discarded,
+  // dirty pages were written back. A fault must read from flash.
+  kOnFlash,
+  // A fault is in flight; faulting tasks queue on the page.
+  kFaultingIn,
+};
+
+// Which heap/region the page belongs to, matching the paper's Figure 4
+// categorization (file-backed vs anonymous, and for anonymous pages the Java
+// heap managed by ART vs the native malloc heap).
+enum class HeapKind : uint8_t {
+  kJavaHeap,
+  kNativeHeap,
+  kFile,
+};
+
+inline bool IsAnon(HeapKind kind) { return kind != HeapKind::kFile; }
+
+// LRU list membership tag for the intrusive node.
+struct LruTag {};
+
+struct PageInfo : ListNode<LruTag> {
+  AddressSpace* owner = nullptr;
+  uint32_t vpn = 0;
+
+  PageState state = PageState::kUntouched;
+  HeapKind kind = HeapKind::kFile;
+
+  // Dirty file pages need writeback before reclaim; anonymous pages are
+  // always "dirty" in the kernel sense, so the bit is only meaningful for
+  // file pages.
+  bool dirty = false;
+
+  // Second-chance reference bit, set on access, cleared by the reclaim scan.
+  bool referenced = false;
+
+  // Which LRU list the page is on (valid only while linked).
+  bool active = false;
+
+  // Workingset shadow entry: the global eviction sequence number at the time
+  // this page was last evicted, or 0 when the page has never been evicted.
+  // A fault on a page with a nonzero cookie is a *refault* and the distance
+  // is (current sequence - cookie), matching mm/workingset.c.
+  uint64_t evict_cookie = 0;
+
+  // Compressed size while in ZRAM.
+  uint32_t zram_bytes = 0;
+};
+
+}  // namespace ice
+
+#endif  // SRC_MEM_PAGE_H_

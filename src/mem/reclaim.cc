@@ -1,0 +1,172 @@
+// Reclaim half of the MemoryManager: per-memcg proportional LRU scanning,
+// page eviction, kswapd batches, direct reclaim and per-process reclaim.
+//
+// Mirrors Android's shrink_node(): every registered address space ("memory
+// cgroup") receives reclaim pressure proportional to its LRU size — the
+// foreground app included. This proportional pressure is why background
+// memory churn displaces foreground pages on real devices, and it is the
+// exact behavior Acclaim's foreground-aware eviction filter modifies.
+#include <algorithm>
+
+#include "src/base/log.h"
+#include "src/mem/memory_manager.h"
+
+namespace ice {
+
+namespace {
+// Linux-style swappiness: how strongly anonymous pages are preferred
+// relative to file pages (0..200 scale, 100 = proportional). Android ships
+// with a high value because ZRAM makes anon reclaim cheap.
+constexpr uint32_t kSwappiness = 100;
+}  // namespace
+
+ReclaimResult MemoryManager::ReclaimBatch(PageCount target, bool direct) {
+  (void)direct;
+  ReclaimResult result;
+  if (target == 0 || spaces_.empty()) {
+    return result;
+  }
+  ICE_CHECK(!in_reclaim_) << "reentrant reclaim";
+  in_reclaim_ = true;
+
+  // Total LRU size across spaces, for proportional pressure.
+  uint64_t total_lru = 0;
+  for (AddressSpace* space : spaces_) {
+    total_lru += space->lru().total_size();
+  }
+  if (total_lru == 0) {
+    in_reclaim_ = false;
+    return result;
+  }
+
+  bool anon_ok = zram_.HasRoom();
+  size_t n = spaces_.size();
+  // Rotate the starting space so rounding leftovers spread fairly.
+  for (size_t i = 0; i < n && result.reclaimed < target; ++i) {
+    AddressSpace* space = spaces_[(reclaim_cursor_ + i) % n];
+    LruLists& lru = space->lru();
+    uint64_t space_lru = lru.total_size();
+    if (space_lru == 0) {
+      continue;
+    }
+    // This space's proportional share (at least one page so small spaces
+    // still age).
+    PageCount share = std::max<PageCount>(1, target * space_lru / total_lru);
+    share = std::min(share, target - result.reclaimed);
+
+    lru.Balance(LruPool::kAnon);
+    lru.Balance(LruPool::kFile);
+
+    size_t anon_avail = anon_ok ? lru.inactive_size(LruPool::kAnon) : 0;
+    size_t file_avail = lru.inactive_size(LruPool::kFile);
+    uint64_t anon_weight = static_cast<uint64_t>(anon_avail) * kSwappiness;
+    uint64_t file_weight = static_cast<uint64_t>(file_avail) * 100;
+    uint64_t total_weight = anon_weight + file_weight;
+    if (total_weight == 0) {
+      continue;
+    }
+    PageCount anon_share = static_cast<PageCount>(share * anon_weight / total_weight);
+    PageCount file_share = share - anon_share;
+
+    struct PoolPlan {
+      LruPool pool;
+      PageCount want;
+    };
+    PoolPlan plans[2] = {{LruPool::kFile, file_share}, {LruPool::kAnon, anon_share}};
+    for (const PoolPlan& plan : plans) {
+      if (plan.want == 0) {
+        continue;
+      }
+      uint32_t want = static_cast<uint32_t>(plan.want);
+      std::vector<PageInfo*> candidates =
+          lru.IsolateCandidates(plan.pool, want, want * 4, victim_filter_);
+      result.scanned += candidates.size();
+      for (PageInfo* page : candidates) {
+        EvictPage(page, result);
+      }
+    }
+  }
+  reclaim_cursor_ = (reclaim_cursor_ + 1) % std::max<size_t>(1, n);
+
+  result.cpu_us += result.scanned * config_.scan_cost + config_.reclaim_batch_overhead;
+  FlushWritebackBatch();
+
+  in_reclaim_ = false;
+  return result;
+}
+
+bool MemoryManager::EvictPage(PageInfo* page, ReclaimResult& result) {
+  ICE_CHECK(page->state == PageState::kPresent);
+  StatsRegistry& st = engine_.stats();
+
+  if (IsAnon(page->kind)) {
+    if (!zram_.Store(page)) {
+      // ZRAM full: the page cannot be evicted; give it back.
+      page->owner->lru().PutBackInactive(page);
+      return false;
+    }
+    page->state = PageState::kInZram;
+    result.cpu_us += zram_.compress_cost() + config_.unmap_cost;
+    SyncZramFrames();
+    st.Increment(stat::kZramStores);
+    st.Increment(stat::kPagesReclaimedAnon);
+  } else {
+    if (page->dirty) {
+      ++writeback_pending_;
+      page->dirty = false;
+      result.cpu_us += config_.writeback_submit_cost + config_.unmap_cost;
+      if (writeback_pending_ >= config_.writeback_batch) {
+        FlushWritebackBatch();
+      }
+    } else {
+      result.cpu_us += config_.discard_cost + config_.unmap_cost;
+    }
+    page->state = PageState::kOnFlash;
+    st.Increment(stat::kPagesReclaimedFile);
+  }
+
+  shadow_.RecordEviction(page);
+  page->owner->AddResident(-1);
+  page->owner->AddEvicted(1);
+  ++page->owner->total_evictions;
+  ++free_pages_;
+  ++result.reclaimed;
+  st.Increment(stat::kPagesReclaimed);
+  return true;
+}
+
+void MemoryManager::FlushWritebackBatch() {
+  if (writeback_pending_ == 0 || storage_ == nullptr) {
+    writeback_pending_ = 0;
+    return;
+  }
+  Bio bio;
+  bio.dir = IoDir::kWrite;
+  bio.pages = writeback_pending_;
+  bio.foreground = false;
+  storage_->Submit(bio);
+  writeback_pending_ = 0;
+}
+
+ReclaimResult MemoryManager::ReclaimAllOf(AddressSpace& space) {
+  ReclaimResult result;
+  ICE_CHECK(!in_reclaim_);
+  in_reclaim_ = true;
+  for (PageInfo& page : space.pages()) {
+    if (page.state != PageState::kPresent) {
+      continue;
+    }
+    ++result.scanned;
+    space.lru().Remove(&page);
+    if (!EvictPage(&page, result)) {
+      // Put back happened inside EvictPage (zram full); nothing more to do.
+      continue;
+    }
+  }
+  result.cpu_us += result.scanned * config_.scan_cost;
+  FlushWritebackBatch();
+  in_reclaim_ = false;
+  return result;
+}
+
+}  // namespace ice

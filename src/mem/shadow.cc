@@ -1,0 +1,43 @@
+#include "src/mem/shadow.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+#include "src/mem/address_space.h"
+
+namespace ice {
+
+void ShadowRegistry::RecordEviction(PageInfo* page) {
+  ICE_CHECK(page != nullptr);
+  page->evict_cookie = ++eviction_seq_;
+}
+
+RefaultEvent ShadowRegistry::RecordRefault(PageInfo* page, SimTime now, bool foreground) {
+  ICE_CHECK(page != nullptr);
+  ICE_CHECK_GT(page->evict_cookie, 0u);
+  RefaultEvent event;
+  event.time = now;
+  event.pid = page->owner->pid();
+  event.uid = page->owner->uid();
+  event.kind = page->kind;
+  event.foreground = foreground;
+  event.distance = eviction_seq_ - page->evict_cookie;
+  page->evict_cookie = 0;
+  ++refault_count_;
+  for (RefaultListener* l : listeners_) {
+    l->OnRefault(event);
+  }
+  return event;
+}
+
+void ShadowRegistry::AddListener(RefaultListener* listener) {
+  ICE_CHECK(listener != nullptr);
+  listeners_.push_back(listener);
+}
+
+void ShadowRegistry::RemoveListener(RefaultListener* listener) {
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), listener),
+                   listeners_.end());
+}
+
+}  // namespace ice

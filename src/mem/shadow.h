@@ -1,0 +1,64 @@
+// Workingset shadow-entry bookkeeping and the refault event stream.
+//
+// When a page is evicted the kernel leaves a shadow entry recording the
+// global eviction sequence number; a later fault on that entry is a
+// *refault* with distance = (sequence now) - (sequence at eviction). ICE's
+// RPF component consumes exactly this signal (§4.2.1, "the modern Linux
+// kernel has already provided an interface to obtain the refault-related
+// information (shadow_entry)").
+#ifndef SRC_MEM_SHADOW_H_
+#define SRC_MEM_SHADOW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/mem/page.h"
+
+namespace ice {
+
+struct RefaultEvent {
+  SimTime time = 0;
+  Pid pid = kInvalidPid;
+  Uid uid = kInvalidUid;
+  HeapKind kind = HeapKind::kFile;
+  // True when the owning application was foreground at fault time.
+  bool foreground = false;
+  // Eviction-to-refault distance in evicted pages (refault distance).
+  uint64_t distance = 0;
+};
+
+class RefaultListener {
+ public:
+  virtual ~RefaultListener() = default;
+  virtual void OnRefault(const RefaultEvent& event) = 0;
+};
+
+// Tracks the global eviction sequence and fans refault events out to
+// listeners (ICE's daemon, experiment probes, ...).
+class ShadowRegistry {
+ public:
+  ShadowRegistry() = default;
+
+  // Called on eviction: stamps the page's shadow cookie.
+  void RecordEviction(PageInfo* page);
+
+  // Called on fault-in of a previously evicted page. Returns the populated
+  // event (already dispatched to listeners).
+  RefaultEvent RecordRefault(PageInfo* page, SimTime now, bool foreground);
+
+  void AddListener(RefaultListener* listener);
+  void RemoveListener(RefaultListener* listener);
+
+  uint64_t eviction_sequence() const { return eviction_seq_; }
+  uint64_t refault_count() const { return refault_count_; }
+
+ private:
+  uint64_t eviction_seq_ = 0;
+  uint64_t refault_count_ = 0;
+  std::vector<RefaultListener*> listeners_;
+};
+
+}  // namespace ice
+
+#endif  // SRC_MEM_SHADOW_H_

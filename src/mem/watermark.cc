@@ -1,0 +1,13 @@
+#include "src/mem/watermark.h"
+
+namespace ice {
+
+Watermarks Watermarks::FromHigh(PageCount high_pages) {
+  Watermarks wm;
+  wm.high = high_pages;
+  wm.low = high_pages * 5 / 6;
+  wm.min = high_pages * 2 / 3;
+  return wm;
+}
+
+}  // namespace ice

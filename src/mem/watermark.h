@@ -1,0 +1,26 @@
+// Free-memory watermarks, following the kernel's zone watermark scheme and
+// the paper's configuration (low = 5/6 · high, min = 2/3 · high).
+#ifndef SRC_MEM_WATERMARK_H_
+#define SRC_MEM_WATERMARK_H_
+
+#include "src/base/units.h"
+
+namespace ice {
+
+struct Watermarks {
+  PageCount high = 0;  // kswapd reclaims until free >= high.
+  PageCount low = 0;   // kswapd wakes when free < low.
+  PageCount min = 0;   // allocations below min enter direct reclaim.
+
+  // Builds the triple from the high watermark using the paper's ratios
+  // (footnote to Table 4: low and min are 5/6 and 2/3 of high).
+  static Watermarks FromHigh(PageCount high_pages);
+
+  bool NeedsKswapd(PageCount free) const { return free < low; }
+  bool NeedsDirectReclaim(PageCount free) const { return free <= min; }
+  bool KswapdDone(PageCount free) const { return free >= high; }
+};
+
+}  // namespace ice
+
+#endif  // SRC_MEM_WATERMARK_H_

@@ -1,0 +1,34 @@
+// Plain-text table printer used by the benchmark binaries to emit
+// paper-style rows ("paper" column vs "measured" column).
+#ifndef SRC_METRICS_REPORT_H_
+#define SRC_METRICS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace ice {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 1);
+  static std::string Pct(double fraction, int precision = 1);
+
+  std::string ToString() const;
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints a "== title ==" section header.
+void PrintSection(const std::string& title);
+
+}  // namespace ice
+
+#endif  // SRC_METRICS_REPORT_H_

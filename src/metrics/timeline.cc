@@ -1,0 +1,54 @@
+#include "src/metrics/timeline.h"
+
+#include <algorithm>
+
+namespace ice {
+
+MemoryTimeline::MemoryTimeline(Engine& engine, MemoryManager& mm, SimDuration interval)
+    : engine_(engine), mm_(mm), interval_(interval) {
+  TakeSample();
+}
+
+MemoryTimeline::~MemoryTimeline() {
+  stopped_ = true;
+  if (next_event_ != kInvalidEventId) {
+    engine_.Cancel(next_event_);
+  }
+}
+
+void MemoryTimeline::TakeSample() {
+  if (stopped_) {
+    return;
+  }
+  StatsRegistry& st = engine_.stats();
+  TimelineSample s;
+  s.time = engine_.now();
+  s.free_pages = mm_.free_pages();
+  s.available_pages = mm_.available_pages();
+  s.zram_utilization = mm_.zram().utilization();
+  s.cum_reclaimed = st.Get(stat::kPagesReclaimed);
+  s.cum_refaults = st.Get(stat::kRefaults);
+  s.cum_refaults_bg = st.Get(stat::kRefaultsBg);
+  s.cum_kswapd_wakeups = st.Get(stat::kKswapdWakeups);
+  s.cum_lmk_kills = st.Get(stat::kLmkKills);
+  samples_.push_back(s);
+  next_event_ = engine_.ScheduleAfter(interval_, [this]() { TakeSample(); });
+}
+
+double MemoryTimeline::FinalRefaultRatio() const {
+  if (samples_.empty() || samples_.back().cum_reclaimed == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(samples_.back().cum_refaults) /
+         static_cast<double>(samples_.back().cum_reclaimed);
+}
+
+int64_t MemoryTimeline::MinFreePages() const {
+  int64_t min_free = INT64_MAX;
+  for (const TimelineSample& s : samples_) {
+    min_free = std::min(min_free, s.free_pages);
+  }
+  return samples_.empty() ? 0 : min_free;
+}
+
+}  // namespace ice

@@ -1,0 +1,58 @@
+// Periodic memory-state sampler: records free memory, zram fill, cumulative
+// eviction/refault counters and kswapd activity on a fixed interval — the
+// instrumentation the paper's volunteers' phones carried (§3.1, "the
+// information is collected every thirty seconds").
+#ifndef SRC_METRICS_TIMELINE_H_
+#define SRC_METRICS_TIMELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/mem/memory_manager.h"
+#include "src/sim/engine.h"
+
+namespace ice {
+
+struct TimelineSample {
+  SimTime time = 0;
+  int64_t free_pages = 0;
+  PageCount available_pages = 0;
+  double zram_utilization = 0.0;
+  uint64_t cum_reclaimed = 0;
+  uint64_t cum_refaults = 0;
+  uint64_t cum_refaults_bg = 0;
+  uint64_t cum_kswapd_wakeups = 0;
+  uint64_t cum_lmk_kills = 0;
+};
+
+class MemoryTimeline {
+ public:
+  // Starts sampling immediately and every `interval` thereafter.
+  MemoryTimeline(Engine& engine, MemoryManager& mm, SimDuration interval = Sec(30));
+  ~MemoryTimeline();
+
+  MemoryTimeline(const MemoryTimeline&) = delete;
+  MemoryTimeline& operator=(const MemoryTimeline&) = delete;
+
+  const std::vector<TimelineSample>& samples() const { return samples_; }
+
+  // Refault ratio (cumulative) at the final sample; 0 when no evictions.
+  double FinalRefaultRatio() const;
+  // Minimum free memory seen across samples (pages).
+  int64_t MinFreePages() const;
+
+ private:
+  void TakeSample();
+
+  Engine& engine_;
+  MemoryManager& mm_;
+  SimDuration interval_;
+  std::vector<TimelineSample> samples_;
+  EventId next_event_ = kInvalidEventId;
+  bool stopped_ = false;
+};
+
+}  // namespace ice
+
+#endif  // SRC_METRICS_TIMELINE_H_

@@ -1,0 +1,20 @@
+#include "src/policy/acclaim.h"
+
+#include "src/base/log.h"
+#include "src/mem/address_space.h"
+
+namespace ice {
+
+void AcclaimScheme::Install(const SystemRefs& refs) {
+  ICE_CHECK(refs.mm != nullptr);
+  MemoryManager* mm = refs.mm;
+  // FAE: rotate foreground-owned candidates back onto the LRU instead of
+  // evicting them. The scan budget in the LRU core bounds how long reclaim
+  // keeps skipping, mirroring Acclaim's bounded protection.
+  mm->set_victim_filter([mm](const PageInfo& page) {
+    Uid fg = mm->foreground_uid();
+    return fg != kInvalidUid && page.owner->uid() == fg;
+  });
+}
+
+}  // namespace ice

@@ -1,0 +1,23 @@
+// Acclaim (Liang et al., USENIX ATC'20): foreground-aware memory reclaim.
+//
+// Its core mechanism, foreground-aware eviction (FAE), protects pages of the
+// foreground application during reclaim scans and prefers background pages
+// even when they are hotter — reducing FG refaults at the cost of extra BG
+// eviction (the regression the paper observes in §6.1: "BG refaults have a
+// higher possibility to occur in some scenarios with Acclaim").
+#ifndef SRC_POLICY_ACCLAIM_H_
+#define SRC_POLICY_ACCLAIM_H_
+
+#include "src/policy/scheme.h"
+
+namespace ice {
+
+class AcclaimScheme : public Scheme {
+ public:
+  std::string name() const override { return "Acclaim"; }
+  void Install(const SystemRefs& refs) override;
+};
+
+}  // namespace ice
+
+#endif  // SRC_POLICY_ACCLAIM_H_

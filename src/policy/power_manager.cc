@@ -1,0 +1,56 @@
+#include "src/policy/power_manager.h"
+
+#include <vector>
+
+#include "src/base/log.h"
+
+namespace ice {
+
+void PowerManagerScheme::Install(const SystemRefs& refs) {
+  ICE_CHECK(refs.engine != nullptr && refs.am != nullptr && refs.freezer != nullptr);
+  refs_ = refs;
+  refs_.engine->ScheduleAfter(config_.check_period, [this]() { PeriodicCheck(); });
+
+  // Like ICE, the power manager must thaw before an app is displayed; the
+  // ActivityManager already thaws on launch, so only the state bookkeeping
+  // is needed here.
+}
+
+void PowerManagerScheme::PeriodicCheck() {
+  refs_.engine->ScheduleAfter(config_.check_period, [this]() { PeriodicCheck(); });
+  if (config_.charging) {
+    return;  // OEM behavior: no freezing on the charger.
+  }
+
+  std::vector<App*> to_freeze;
+  for (App* app : refs_.am->apps()) {
+    uint64_t last = last_cpu_us_.count(app->uid()) ? last_cpu_us_[app->uid()] : 0;
+    uint64_t delta = app->cpu_time_us - last;
+    last_cpu_us_[app->uid()] = app->cpu_time_us;
+
+    if (!app->running() || app->frozen()) {
+      continue;
+    }
+    // Only cached background apps; perceptible (adj <= 200) are protected.
+    if (app->state() != AppState::kCached || app->oom_adj() <= kAdjPerceptible) {
+      continue;
+    }
+    if (delta >= static_cast<uint64_t>(config_.cpu_threshold)) {
+      to_freeze.push_back(app);
+    }
+  }
+  for (App* app : to_freeze) {
+    refs_.freezer->FreezeApp(*app);
+    Uid uid = app->uid();
+    refs_.engine->ScheduleAfter(config_.freeze_duration, [this, uid]() {
+      App* target = refs_.am->FindApp(uid);
+      // Fixed-duration thaw, regardless of memory state.
+      if (target != nullptr && target->frozen() &&
+          target->state() == AppState::kCached) {
+        refs_.freezer->ThawApp(*target);
+      }
+    });
+  }
+}
+
+}  // namespace ice

@@ -1,0 +1,46 @@
+// OEM power-manager process freezing (§6.2.1, Table 5): commercial
+// smartphones freeze energy-hungry background apps to save battery. The
+// policy is *power*-oriented, not memory-aware:
+//  * it freezes periodically, whatever the memory pressure;
+//  * the freezing target is the apps that burned the most CPU since the last
+//    check (an energy proxy), not the apps causing refaults;
+//  * the freezing intensity never adapts to memory pressure;
+//  * many OEMs disable freezing entirely while the device charges.
+#ifndef SRC_POLICY_POWER_MANAGER_H_
+#define SRC_POLICY_POWER_MANAGER_H_
+
+#include <unordered_map>
+
+#include "src/policy/scheme.h"
+
+namespace ice {
+
+class PowerManagerScheme : public Scheme {
+ public:
+  struct Config {
+    // Scan period and fixed freeze duration.
+    SimDuration check_period = Sec(30);
+    SimDuration freeze_duration = Sec(20);
+    // Apps above this CPU-time delta per check period are "energy hungry".
+    SimDuration cpu_threshold = Ms(150);
+    // OEM behavior: no freezing while charging.
+    bool charging = false;
+  };
+
+  PowerManagerScheme() = default;
+  explicit PowerManagerScheme(const Config& config) : config_(config) {}
+
+  std::string name() const override { return "PowerMgr"; }
+  void Install(const SystemRefs& refs) override;
+
+ private:
+  void PeriodicCheck();
+
+  Config config_;
+  SystemRefs refs_;
+  std::unordered_map<Uid, uint64_t> last_cpu_us_;
+};
+
+}  // namespace ice
+
+#endif  // SRC_POLICY_POWER_MANAGER_H_

@@ -1,0 +1,64 @@
+#include "src/policy/registry.h"
+
+#include "src/base/log.h"
+#include "src/policy/acclaim.h"
+#include "src/policy/power_manager.h"
+#include "src/policy/ucsg.h"
+
+namespace ice {
+
+SchemeRegistry& SchemeRegistry::Instance() {
+  static SchemeRegistry* registry = new SchemeRegistry();
+  return *registry;
+}
+
+SchemeRegistry::SchemeRegistry() {
+  Register("lru_cfs", []() { return std::make_unique<LruCfsScheme>(); });
+  Register("ucsg", []() { return std::make_unique<UcsgScheme>(); });
+  Register("acclaim", []() { return std::make_unique<AcclaimScheme>(); });
+  Register("power", []() { return std::make_unique<PowerManagerScheme>(); });
+}
+
+void SchemeRegistry::Register(const std::string& key, Factory factory) {
+  for (auto& [k, f] : factories_) {
+    if (k == key) {
+      f = std::move(factory);  // Re-registration overrides.
+      return;
+    }
+  }
+  factories_.emplace_back(key, std::move(factory));
+}
+
+std::unique_ptr<Scheme> SchemeRegistry::Create(const std::string& key) const {
+  for (const auto& [k, f] : factories_) {
+    if (k == key) {
+      return f();
+    }
+  }
+  ICE_CHECK(false) << "unknown scheme '" << key << "'";
+  return nullptr;
+}
+
+bool SchemeRegistry::Contains(const std::string& key) const {
+  for (const auto& [k, f] : factories_) {
+    if (k == key) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> SchemeRegistry::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(factories_.size());
+  for (const auto& [k, f] : factories_) {
+    keys.push_back(k);
+  }
+  return keys;
+}
+
+std::unique_ptr<Scheme> MakeScheme(const std::string& key) {
+  return SchemeRegistry::Instance().Create(key);
+}
+
+}  // namespace ice

@@ -1,0 +1,40 @@
+// Name → scheme factory registry, so experiments and benches can select
+// policies by string ("lru_cfs", "ucsg", "acclaim", "power", "ice").
+// ICE registers itself from its own library (see src/ice/daemon.cc).
+#ifndef SRC_POLICY_REGISTRY_H_
+#define SRC_POLICY_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/policy/scheme.h"
+
+namespace ice {
+
+class SchemeRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Scheme>()>;
+
+  static SchemeRegistry& Instance();
+
+  void Register(const std::string& key, Factory factory);
+
+  // Creates the named scheme; aborts on unknown keys.
+  std::unique_ptr<Scheme> Create(const std::string& key) const;
+
+  bool Contains(const std::string& key) const;
+  std::vector<std::string> Keys() const;
+
+ private:
+  SchemeRegistry();
+  std::vector<std::pair<std::string, Factory>> factories_;
+};
+
+// Convenience wrapper.
+std::unique_ptr<Scheme> MakeScheme(const std::string& key);
+
+}  // namespace ice
+
+#endif  // SRC_POLICY_REGISTRY_H_

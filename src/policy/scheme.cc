@@ -1,0 +1,11 @@
+#include "src/policy/scheme.h"
+
+namespace ice {
+
+void LruCfsScheme::Install(const SystemRefs& refs) {
+  // The stock kernel: completely fair scheduling, pure-LRU reclaim, no
+  // freezing. Nothing to wire.
+  (void)refs;
+}
+
+}  // namespace ice

@@ -1,0 +1,51 @@
+// Scheme: a pluggable memory/process-management policy. The four evaluated
+// schemes (§5.2) are LRU+CFS (baseline, no-op), UCSG, Acclaim, and Ice; the
+// power-manager freezer of §6.2.1 is a fifth.
+//
+// A scheme is installed once onto a built system and wires itself into the
+// relevant hooks: scheduler nice values (UCSG), reclaim victim filter
+// (Acclaim), refault events + freezer (Ice, power manager).
+#ifndef SRC_POLICY_SCHEME_H_
+#define SRC_POLICY_SCHEME_H_
+
+#include <string>
+
+#include "src/android/activity_manager.h"
+#include "src/mem/memory_manager.h"
+#include "src/storage/block_device.h"
+#include "src/proc/freezer.h"
+#include "src/proc/scheduler.h"
+#include "src/sim/engine.h"
+
+namespace ice {
+
+struct SystemRefs {
+  Engine* engine = nullptr;
+  MemoryManager* mm = nullptr;
+  Scheduler* scheduler = nullptr;
+  Freezer* freezer = nullptr;
+  ActivityManager* am = nullptr;
+  BlockDevice* storage = nullptr;
+};
+
+class Scheme {
+ public:
+  virtual ~Scheme() = default;
+
+  virtual std::string name() const = 0;
+
+  // Wires the scheme into the system. Called exactly once, before any
+  // workload runs.
+  virtual void Install(const SystemRefs& refs) = 0;
+};
+
+// LRU + CFS: the stock Linux baseline. Installs nothing.
+class LruCfsScheme : public Scheme {
+ public:
+  std::string name() const override { return "LRU+CFS"; }
+  void Install(const SystemRefs& refs) override;
+};
+
+}  // namespace ice
+
+#endif  // SRC_POLICY_SCHEME_H_

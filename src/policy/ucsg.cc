@@ -1,0 +1,37 @@
+#include "src/policy/ucsg.h"
+
+#include "src/base/log.h"
+#include "src/proc/process.h"
+#include "src/proc/task.h"
+
+namespace ice {
+
+void UcsgScheme::ApplyNice(App& app, int nice) {
+  for (Process* process : app.processes()) {
+    for (Task* task : process->tasks()) {
+      task->set_nice(nice);
+    }
+  }
+}
+
+void UcsgScheme::Install(const SystemRefs& refs) {
+  ICE_CHECK(refs.am != nullptr);
+  am_ = refs.am;
+  am_->AddStateListener([this](App& app, AppState /*old_state*/) {
+    switch (app.state()) {
+      case AppState::kForeground:
+        ApplyNice(app, kForegroundNice);
+        break;
+      case AppState::kPerceptible:
+        ApplyNice(app, 0);
+        break;
+      case AppState::kCached:
+        ApplyNice(app, kBackgroundNice);
+        break;
+      case AppState::kNotRunning:
+        break;
+    }
+  });
+}
+
+}  // namespace ice

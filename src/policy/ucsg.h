@@ -1,0 +1,29 @@
+// UCSG (Tseng et al., DAC'14): user-centric scheduling. The foreground
+// application dominates the user's attention, so its processes get elevated
+// scheduling priority while background processes are demoted. Purely a
+// process-scheduling change: memory management stays stock.
+#ifndef SRC_POLICY_UCSG_H_
+#define SRC_POLICY_UCSG_H_
+
+#include "src/policy/scheme.h"
+
+namespace ice {
+
+class UcsgScheme : public Scheme {
+ public:
+  // Nice deltas applied to app tasks by state.
+  static constexpr int kForegroundNice = -10;
+  static constexpr int kBackgroundNice = 7;
+
+  std::string name() const override { return "UCSG"; }
+  void Install(const SystemRefs& refs) override;
+
+ private:
+  void ApplyNice(App& app, int nice);
+
+  ActivityManager* am_ = nullptr;
+};
+
+}  // namespace ice
+
+#endif  // SRC_POLICY_UCSG_H_

@@ -1,0 +1,22 @@
+#include "src/proc/app.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/log.h"
+
+namespace ice {
+
+App::App(Uid uid, std::string package) : uid_(uid), package_(std::move(package)) {}
+
+void App::AddProcess(Process* process) {
+  ICE_CHECK(process != nullptr);
+  processes_.push_back(process);
+}
+
+void App::RemoveProcess(Process* process) {
+  processes_.erase(std::remove(processes_.begin(), processes_.end(), process),
+                   processes_.end());
+}
+
+}  // namespace ice

@@ -1,0 +1,73 @@
+// Application (Android UID granularity): a set of processes sharing one
+// package, one oom_score_adj, and — under ICE — one freezing fate.
+#ifndef SRC_PROC_APP_H_
+#define SRC_PROC_APP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/units.h"
+
+namespace ice {
+
+class Process;
+
+enum class AppState : uint8_t {
+  kNotRunning,
+  kForeground,
+  // User-perceptible background work (music, download, call): whitelisted.
+  kPerceptible,
+  kCached,
+};
+
+// Android oom_score_adj conventions used by the paper (§4.4): foreground 0,
+// perceptible 200, cached apps higher. ICE's whitelist is "adj <= 200".
+inline constexpr int kAdjForeground = 0;
+inline constexpr int kAdjPerceptible = 200;
+inline constexpr int kAdjCachedBase = 900;
+
+class App {
+ public:
+  App(Uid uid, std::string package);
+
+  App(const App&) = delete;
+  App& operator=(const App&) = delete;
+
+  Uid uid() const { return uid_; }
+  const std::string& package() const { return package_; }
+
+  AppState state() const { return state_; }
+  void set_state(AppState state) { state_ = state; }
+
+  int oom_adj() const { return oom_adj_; }
+  void set_oom_adj(int adj) { oom_adj_ = adj; }
+
+  bool frozen() const { return frozen_; }
+  void set_frozen(bool frozen) { frozen_ = frozen; }
+
+  bool running() const { return !processes_.empty(); }
+
+  const std::vector<Process*>& processes() const { return processes_; }
+  void AddProcess(Process* process);
+  void RemoveProcess(Process* process);
+
+  // Cumulative CPU consumed by this app's tasks (maintained by Task).
+  uint64_t cpu_time_us = 0;
+
+  // Timestamp of the last launch / foreground entry; used by LMK victim
+  // selection (oldest cached app dies first among equals).
+  SimTime last_foreground_time = 0;
+
+ private:
+  Uid uid_;
+  std::string package_;
+  AppState state_ = AppState::kNotRunning;
+  int oom_adj_ = kAdjCachedBase;
+  bool frozen_ = false;
+  std::vector<Process*> processes_;
+};
+
+}  // namespace ice
+
+#endif  // SRC_PROC_APP_H_

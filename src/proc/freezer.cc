@@ -1,0 +1,37 @@
+#include "src/proc/freezer.h"
+
+#include "src/base/log.h"
+#include "src/proc/process.h"
+#include "src/proc/task.h"
+
+namespace ice {
+
+void Freezer::FreezeApp(App& app) {
+  if (app.frozen()) {
+    return;
+  }
+  app.set_frozen(true);
+  ++freeze_count_;
+  engine_.stats().Increment(stat::kFreezes);
+  for (Process* process : app.processes()) {
+    for (Task* task : process->tasks()) {
+      task->RequestFreeze();
+    }
+  }
+}
+
+void Freezer::ThawApp(App& app) {
+  if (!app.frozen()) {
+    return;
+  }
+  app.set_frozen(false);
+  ++thaw_count_;
+  engine_.stats().Increment(stat::kThaws);
+  for (Process* process : app.processes()) {
+    for (Task* task : process->tasks()) {
+      task->ThawNow();
+    }
+  }
+}
+
+}  // namespace ice

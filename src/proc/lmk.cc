@@ -1,0 +1,65 @@
+#include "src/proc/lmk.h"
+
+#include "src/base/log.h"
+
+namespace ice {
+
+Lmk::Lmk(Engine& engine, MemoryManager& mm) : engine_(engine), mm_(mm) {
+  engine_.AddTicker(this);
+}
+
+Lmk::~Lmk() { engine_.RemoveTicker(this); }
+
+void Lmk::InstallOomHandler() {
+  mm_.set_oom_handler([this]() { return KillOne(); });
+}
+
+void Lmk::Tick(SimTime now) {
+  if (now < next_check_) {
+    return;
+  }
+  next_check_ = now + kCheckPeriod;
+  PageCount free = mm_.free_pages() < 0 ? 0 : static_cast<PageCount>(mm_.free_pages());
+
+  // Refault-rate EWMA (the PSI signal), sampled every check period.
+  uint64_t refaults = engine_.stats().Get(stat::kRefaults);
+  double instant_rate =
+      static_cast<double>(refaults - last_refaults_) * (kSecond / kCheckPeriod);
+  last_refaults_ = refaults;
+  constexpr double kAlpha = 0.06;  // ~1.5 s smoothing at 100 ms samples.
+  refault_rate_ewma_ += kAlpha * (instant_rate - refault_rate_ewma_);
+  // lmkd-style triggers:
+  //  * sustained pressure below the min watermark with no cheaply
+  //    reclaimable file cache left;
+  //  * the minfree ladder: MemAvailable below the cached-app threshold;
+  //  * the zram wall: swap exhausted while the zone is under its low
+  //    watermark (anonymous memory can no longer be reclaimed at all).
+  bool direct_pressure =
+      free <= mm_.watermarks().min && mm_.available_pages() < mm_.watermarks().low;
+  bool minfree_hit = minfree_pages_ > 0 && mm_.available_pages() < minfree_pages_;
+  bool zram_wall = !mm_.zram().HasRoom() && free < mm_.watermarks().low;
+  bool psi_hit = psi_threshold_ > 0.0 && refault_rate_ewma_ > psi_threshold_;
+  if (direct_pressure || minfree_hit || zram_wall || psi_hit) {
+    KillOne();
+  }
+}
+
+bool Lmk::KillOne() {
+  SimTime now = engine_.now();
+  if (ever_killed_ && now - last_kill_time_ < kMinKillInterval) {
+    return false;  // Let the previous kill's memory land first.
+  }
+  if (!kill_fn_) {
+    return false;
+  }
+  if (!kill_fn_()) {
+    return false;
+  }
+  last_kill_time_ = now;
+  ever_killed_ = true;
+  ++kills_;
+  engine_.stats().Increment(stat::kLmkKills);
+  return true;
+}
+
+}  // namespace ice

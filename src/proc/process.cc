@@ -1,0 +1,26 @@
+#include "src/proc/process.h"
+
+#include <utility>
+
+#include "src/proc/app.h"
+#include "src/proc/task.h"
+
+namespace ice {
+
+Process::Process(Pid pid, App* app, std::string name, const AddressSpaceLayout& layout)
+    : pid_(pid),
+      app_(app),
+      name_(name),
+      space_(pid, app != nullptr ? app->uid() : kInvalidUid, std::move(name), layout) {}
+
+void Process::Kill() {
+  if (!alive_) {
+    return;
+  }
+  alive_ = false;
+  for (Task* task : tasks_) {
+    task->MarkDead();
+  }
+}
+
+}  // namespace ice

@@ -1,0 +1,50 @@
+// Process: address space plus tasks, attached to an App (or to the kernel).
+#ifndef SRC_PROC_PROCESS_H_
+#define SRC_PROC_PROCESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/mem/address_space.h"
+
+namespace ice {
+
+class App;
+class Task;
+
+class Process {
+ public:
+  Process(Pid pid, App* app, std::string name, const AddressSpaceLayout& layout);
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  Pid pid() const { return pid_; }
+  App* app() const { return app_; }
+  const std::string& name() const { return name_; }
+  bool alive() const { return alive_; }
+
+  AddressSpace& space() { return space_; }
+  const AddressSpace& space() const { return space_; }
+
+  const std::vector<Task*>& tasks() const { return tasks_; }
+  void AddTask(Task* task) { tasks_.push_back(task); }
+
+  // Marks the process dead and its tasks with it. Frame release is the
+  // MemoryManager's job (callers invoke mm.Release(space()) alongside).
+  void Kill();
+
+ private:
+  Pid pid_;
+  App* app_;
+  std::string name_;
+  AddressSpace space_;
+  std::vector<Task*> tasks_;
+  bool alive_ = true;
+};
+
+}  // namespace ice
+
+#endif  // SRC_PROC_PROCESS_H_

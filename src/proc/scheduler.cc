@@ -1,0 +1,140 @@
+#include "src/proc/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/log.h"
+#include "src/proc/behavior.h"
+#include "src/proc/process.h"
+
+namespace ice {
+
+Scheduler::Scheduler(Engine& engine, MemoryManager& mm, int num_cores)
+    : engine_(engine), mm_(mm), num_cores_(num_cores) {
+  ICE_CHECK_GT(num_cores, 0);
+  engine_.AddTicker(this);
+}
+
+Scheduler::~Scheduler() {
+  engine_.RemoveTicker(this);
+  // Unlink every queued task before the unique_ptrs release them (ListNode
+  // asserts it is unlinked at destruction).
+  run_queue_.Clear();
+}
+
+Task* Scheduler::CreateTask(std::string name, Process* process, int nice,
+                            std::unique_ptr<Behavior> behavior) {
+  auto task = std::make_unique<Task>(*this, std::move(name), process, nice, std::move(behavior));
+  Task* raw = task.get();
+  tasks_.push_back(std::move(task));
+  live_tasks_.push_back(raw);
+  if (process != nullptr) {
+    process->AddTask(raw);
+  }
+  // New tasks start runnable at the current fairness floor.
+  raw->SetVruntime(min_vruntime_us_);
+  run_queue_.PushBack(raw);
+  return raw;
+}
+
+void Scheduler::OnTaskRunnable(Task* task) {
+  using RunQueue = IntrusiveList<Task, RunQueueTag>;
+  ICE_CHECK(!RunQueue::IsLinked(task));
+  // Waking tasks are placed at the fairness floor so long sleepers cannot
+  // monopolize the CPU (min_vruntime normalization).
+  if (task->vruntime_us() < min_vruntime_us_) {
+    task->SetVruntime(min_vruntime_us_);
+  }
+  run_queue_.PushBack(task);
+}
+
+void Scheduler::OnTaskNotRunnable(Task* task) {
+  using RunQueue = IntrusiveList<Task, RunQueueTag>;
+  if (RunQueue::IsLinked(task)) {
+    run_queue_.Remove(task);
+  }
+}
+
+void Scheduler::OnTaskDead(Task* task) {
+  live_tasks_.erase(std::remove(live_tasks_.begin(), live_tasks_.end(), task),
+                    live_tasks_.end());
+}
+
+void Scheduler::Tick(SimTime now) {
+  const SimDuration quantum = Engine::kTick;
+  capacity_us_ += static_cast<uint64_t>(num_cores_) * quantum;
+  second_capacity_us_ += static_cast<uint64_t>(num_cores_) * quantum;
+
+  if (!run_queue_.empty()) {
+    // Select up to num_cores tasks. Tasks repaying debt (mid non-preemptive
+    // section) keep their cores; the rest are picked by minimum vruntime.
+    std::vector<Task*> candidates;
+    candidates.reserve(run_queue_.size());
+    uint64_t min_vr = UINT64_MAX;
+    for (Task* t : run_queue_) {
+      candidates.push_back(t);
+      min_vr = std::min(min_vr, t->vruntime_us());
+    }
+    if (min_vr != UINT64_MAX) {
+      min_vruntime_us_ = std::max(min_vruntime_us_, min_vr);
+    }
+    size_t slots = std::min(candidates.size(), static_cast<size_t>(num_cores_));
+    std::partial_sort(candidates.begin(), candidates.begin() + slots, candidates.end(),
+                      [](const Task* a, const Task* b) {
+                        bool a_debt = a->debt_us() > 0;
+                        bool b_debt = b->debt_us() > 0;
+                        if (a_debt != b_debt) {
+                          return a_debt;
+                        }
+                        return a->vruntime_us() < b->vruntime_us();
+                      });
+
+    for (size_t i = 0; i < slots; ++i) {
+      Task* task = candidates[i];
+      if (task->state() != TaskState::kRunnable) {
+        continue;  // Frozen/killed by an earlier task this tick.
+      }
+      SimDuration budget = quantum;
+      SimDuration busy = 0;
+
+      if (task->debt_us() > 0) {
+        SimDuration pay = std::min(task->debt_us(), budget);
+        task->PayDebt(pay);
+        budget -= pay;
+        busy += pay;  // CPU time & vruntime were charged when the debt arose.
+      }
+
+      if (budget > 0 && task->debt_us() == 0 && task->state() == TaskState::kRunnable) {
+        TaskContext ctx(*task, *this, budget);
+        task->set_on_cpu(true);
+        task->behavior().Run(ctx);
+        task->set_on_cpu(false);
+        task->CommitPendingFreeze();
+        SimDuration used = ctx.used();
+        task->ChargeCpu(used);
+        task->AddVruntime(used);
+        if (used > budget) {
+          task->AddDebt(used - budget);
+          busy += budget;
+        } else {
+          busy += used;
+        }
+      }
+
+      busy_us_ += busy;
+      second_busy_us_ += busy;
+    }
+  }
+
+  // Per-second utilization sampling for Table-1 style peak/average figures.
+  if (now + quantum >= next_second_boundary_) {
+    per_second_.push_back(second_capacity_us_ == 0
+                              ? 0.0
+                              : static_cast<double>(second_busy_us_) / second_capacity_us_);
+    second_busy_us_ = 0;
+    second_capacity_us_ = 0;
+    next_second_boundary_ += kSecond;
+  }
+}
+
+}  // namespace ice

@@ -1,0 +1,81 @@
+#include "src/sim/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/log.h"
+
+namespace ice {
+
+Engine::Engine(uint64_t seed) : rng_(seed) {}
+
+EventId Engine::ScheduleAt(SimTime when, std::function<void()> fn) {
+  ICE_CHECK_GE(when, now_) << "scheduling into the past";
+  return events_.Schedule(when, std::move(fn));
+}
+
+EventId Engine::ScheduleAfter(SimDuration delay, std::function<void()> fn) {
+  return events_.Schedule(now_ + delay, std::move(fn));
+}
+
+bool Engine::Cancel(EventId id) { return events_.Cancel(id); }
+
+void Engine::AddTicker(Ticker* ticker) {
+  ICE_CHECK(ticker != nullptr);
+  if (in_tick_) {
+    pending_tickers_.push_back(ticker);
+  } else {
+    tickers_.push_back(ticker);
+  }
+}
+
+void Engine::RemoveTicker(Ticker* ticker) {
+  auto it = std::find(tickers_.begin(), tickers_.end(), ticker);
+  if (it != tickers_.end()) {
+    if (in_tick_) {
+      *it = nullptr;  // Compacted after the iteration completes.
+      tickers_dirty_ = true;
+    } else {
+      tickers_.erase(it);
+    }
+    return;
+  }
+  auto pit = std::find(pending_tickers_.begin(), pending_tickers_.end(), ticker);
+  if (pit != pending_tickers_.end()) {
+    pending_tickers_.erase(pit);
+  }
+}
+
+void Engine::RunOneTick() {
+  events_.RunDue(now_);
+
+  in_tick_ = true;
+  for (Ticker* t : tickers_) {
+    if (t != nullptr) {
+      t->Tick(now_);
+    }
+  }
+  in_tick_ = false;
+
+  if (tickers_dirty_) {
+    tickers_.erase(std::remove(tickers_.begin(), tickers_.end(), nullptr), tickers_.end());
+    tickers_dirty_ = false;
+  }
+  if (!pending_tickers_.empty()) {
+    tickers_.insert(tickers_.end(), pending_tickers_.begin(), pending_tickers_.end());
+    pending_tickers_.clear();
+  }
+
+  now_ += kTick;
+  ++ticks_;
+}
+
+void Engine::RunUntil(SimTime until) {
+  while (now_ < until) {
+    RunOneTick();
+  }
+  // Deliver events that land exactly on the boundary.
+  events_.RunDue(now_);
+}
+
+}  // namespace ice

@@ -1,0 +1,75 @@
+// The simulation engine: a hybrid of a 1 ms tick loop (CPU scheduling quanta)
+// and a µs-resolution discrete-event queue (timers, I/O completions, vsync).
+//
+// Per iteration the engine (1) fires every event due at or before the current
+// time, then (2) calls each registered Ticker once. Tickers model components
+// that do work every scheduling quantum — chiefly the CPU scheduler. The
+// engine also owns the experiment-wide Rng and StatsRegistry so determinism
+// and accounting have a single root.
+#ifndef SRC_SIM_ENGINE_H_
+#define SRC_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/stats.h"
+#include "src/base/units.h"
+#include "src/sim/event_queue.h"
+
+namespace ice {
+
+class Ticker {
+ public:
+  virtual ~Ticker() = default;
+  // Called once per engine tick with the current simulated time.
+  virtual void Tick(SimTime now) = 0;
+};
+
+class Engine {
+ public:
+  // Scheduling quantum; all Tickers advance in steps of this duration.
+  static constexpr SimDuration kTick = kMillisecond;
+
+  explicit Engine(uint64_t seed = 1);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  SimTime now() const { return now_; }
+  uint64_t ticks_elapsed() const { return ticks_; }
+
+  Rng& rng() { return rng_; }
+  StatsRegistry& stats() { return stats_; }
+
+  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+  EventId ScheduleAfter(SimDuration delay, std::function<void()> fn);
+  bool Cancel(EventId id);
+
+  // Tickers are called in registration order. Registration during a tick
+  // takes effect from the next tick.
+  void AddTicker(Ticker* ticker);
+  void RemoveTicker(Ticker* ticker);
+
+  // Advances simulation until `now() >= until`.
+  void RunUntil(SimTime until);
+  void RunFor(SimDuration duration) { RunUntil(now_ + duration); }
+
+ private:
+  void RunOneTick();
+
+  SimTime now_ = 0;
+  uint64_t ticks_ = 0;
+  Rng rng_;
+  StatsRegistry stats_;
+  EventQueue events_;
+  std::vector<Ticker*> tickers_;
+  std::vector<Ticker*> pending_tickers_;
+  bool in_tick_ = false;
+  bool tickers_dirty_ = false;  // A removal happened during iteration.
+};
+
+}  // namespace ice
+
+#endif  // SRC_SIM_ENGINE_H_

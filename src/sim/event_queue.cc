@@ -1,0 +1,62 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+#include "src/base/log.h"
+
+namespace ice {
+
+EventId EventQueue::Schedule(SimTime when, std::function<void()> fn) {
+  ICE_CHECK(fn != nullptr);
+  EventId id = next_id_++;
+  heap_.push(Event{when, next_seq_++, id, std::move(fn)});
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  if (id == kInvalidEventId || id >= next_id_) {
+    return false;
+  }
+  // Double-cancel or cancel-after-fire: the id will not be in the heap; the
+  // tombstone is then inert (cleaned up lazily when ids wrap is not a concern
+  // for simulation lifetimes).
+  auto [it, inserted] = cancelled_.insert(id);
+  if (inserted && live_count_ > 0) {
+    --live_count_;
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::SkipCancelledHead() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) {
+      return;
+    }
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::NextTime() {
+  SkipCancelledHead();
+  ICE_CHECK(!heap_.empty()) << "NextTime on empty queue";
+  return heap_.top().when;
+}
+
+void EventQueue::RunDue(SimTime now) {
+  for (;;) {
+    SkipCancelledHead();
+    if (heap_.empty() || heap_.top().when > now) {
+      return;
+    }
+    std::function<void()> fn = std::move(heap_.top().fn);
+    heap_.pop();
+    --live_count_;
+    fn();
+  }
+}
+
+}  // namespace ice

@@ -1,0 +1,84 @@
+#include "src/storage/block_device.h"
+
+#include <utility>
+
+#include "src/base/log.h"
+
+namespace ice {
+
+BlockDevice::BlockDevice(Engine& engine, FlashProfile profile)
+    : engine_(engine), profile_(std::move(profile)), rng_(engine.rng().Fork()) {}
+
+void BlockDevice::Submit(Bio bio) {
+  engine_.stats().Increment(bio.dir == IoDir::kRead ? stat::kIoReads : stat::kIoWrites);
+  engine_.stats().Add(bio.dir == IoDir::kRead ? stat::kIoReadBytes : stat::kIoWriteBytes,
+                      PagesToBytes(bio.pages));
+  queue_.push_back(Pending{std::move(bio), engine_.now()});
+  MaybeStart();
+}
+
+void BlockDevice::MaybeStart() {
+  while (inflight_ < profile_.queue_depth && !queue_.empty()) {
+    auto it = queue_.begin();
+    if (fg_priority_) {
+      for (auto cand = queue_.begin(); cand != queue_.end(); ++cand) {
+        if (cand->bio.foreground) {
+          it = cand;
+          break;
+        }
+      }
+    }
+    Pending p = std::move(*it);
+    queue_.erase(it);
+    ++inflight_;
+
+    SimDuration per_page =
+        p.bio.dir == IoDir::kRead ? profile_.read_per_page : profile_.write_per_page;
+    double nominal =
+        static_cast<double>(profile_.command_overhead) + static_cast<double>(per_page * p.bio.pages);
+    SimDuration service =
+        static_cast<SimDuration>(rng_.LogNormal(nominal, profile_.jitter_sigma));
+    if (service < 1) {
+      service = 1;
+    }
+
+    Bio bio = std::move(p.bio);
+    SimTime submitted = p.submitted;
+    engine_.ScheduleAfter(service, [this, bio = std::move(bio), submitted]() mutable {
+      Complete(std::move(bio), submitted);
+    });
+  }
+}
+
+void BlockDevice::Complete(Bio bio, SimTime submitted) {
+  --inflight_;
+  ICE_CHECK_GE(inflight_, 0);
+  ++requests_completed_;
+  SimDuration latency = engine_.now() - submitted;
+  total_latency_us_ += latency;
+  if (bio.foreground) {
+    ++fg_requests_;
+    fg_latency_us_ += latency;
+  } else {
+    ++bg_requests_;
+    bg_latency_us_ += latency;
+  }
+  if (bio.dir == IoDir::kRead) {
+    pages_read_ += bio.pages;
+  } else {
+    pages_written_ += bio.pages;
+  }
+  if (bio.on_complete) {
+    bio.on_complete();
+  }
+  MaybeStart();
+}
+
+double BlockDevice::mean_latency_us() const {
+  if (requests_completed_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(total_latency_us_) / static_cast<double>(requests_completed_);
+}
+
+}  // namespace ice

@@ -1,0 +1,27 @@
+#include "src/storage/flash_profiles.h"
+
+namespace ice {
+
+FlashProfile Ufs21Profile() {
+  FlashProfile p;
+  p.name = "UFS2.1";
+  p.read_per_page = Us(6);
+  p.write_per_page = Us(14);
+  p.command_overhead = Us(50);
+  p.queue_depth = 32;
+  p.jitter_sigma = 0.20;
+  return p;
+}
+
+FlashProfile Emmc51Profile() {
+  FlashProfile p;
+  p.name = "eMMC5.1";
+  p.read_per_page = Us(16);
+  p.write_per_page = Us(40);
+  p.command_overhead = Us(110);
+  p.queue_depth = 8;
+  p.jitter_sigma = 0.30;
+  return p;
+}
+
+}  // namespace ice

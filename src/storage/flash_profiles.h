@@ -1,0 +1,18 @@
+// Calibrated flash device profiles for the two evaluation phones:
+// Pixel3 ships 64 GB eMMC 5.1; HUAWEI P20 ships 64 GB UFS 2.1.
+#ifndef SRC_STORAGE_FLASH_PROFILES_H_
+#define SRC_STORAGE_FLASH_PROFILES_H_
+
+#include "src/storage/block_device.h"
+
+namespace ice {
+
+// UFS 2.1: full-duplex, deep command queue, ~700 MB/s sequential read class.
+FlashProfile Ufs21Profile();
+
+// eMMC 5.1: half-duplex, shallow queue, ~250 MB/s sequential read class.
+FlashProfile Emmc51Profile();
+
+}  // namespace ice
+
+#endif  // SRC_STORAGE_FLASH_PROFILES_H_

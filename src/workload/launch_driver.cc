@@ -1,0 +1,96 @@
+#include "src/workload/launch_driver.h"
+
+#include <memory>
+
+#include "src/base/log.h"
+#include "src/workload/scenario.h"
+
+namespace ice {
+
+double LaunchDriverResult::MeanLatencyMs() const {
+  double sum = 0;
+  int n = 0;
+  for (const LaunchRecord& r : records) {
+    if (r.completed) {
+      sum += ToMilliseconds(r.latency);
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+double LaunchDriverResult::MeanColdMs() const {
+  double sum = 0;
+  int n = 0;
+  for (const LaunchRecord& r : records) {
+    if (r.completed && r.cold) {
+      sum += ToMilliseconds(r.latency);
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+double LaunchDriverResult::MeanHotMs() const {
+  double sum = 0;
+  int n = 0;
+  for (const LaunchRecord& r : records) {
+    if (r.completed && !r.cold) {
+      sum += ToMilliseconds(r.latency);
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+int LaunchDriverResult::TotalHot() const {
+  int n = 0;
+  for (int h : hot_per_round) {
+    n += h;
+  }
+  return n;
+}
+
+LaunchDriver::LaunchDriver(ActivityManager& am, Choreographer& choreographer,
+                           std::vector<Uid> apps, Rng rng)
+    : am_(am), choreographer_(choreographer), apps_(std::move(apps)), rng_(rng) {
+  ICE_CHECK(!apps_.empty());
+}
+
+LaunchDriverResult LaunchDriver::RunRounds(int rounds, SimDuration fg_time) {
+  LaunchDriverResult result;
+  Engine& engine = am_.engine();
+  choreographer_.Start();
+
+  size_t first_record = am_.launches().size();
+  for (int round = 0; round < rounds; ++round) {
+    int hot = 0;
+    for (Uid uid : apps_) {
+      App* app = am_.FindApp(uid);
+      ICE_CHECK(app != nullptr);
+      bool will_be_hot = app->running();
+      if (will_be_hot) {
+        ++hot;
+      }
+      am_.Launch(uid);
+      // Monkey-style pseudo-random interaction: scrolling-class load.
+      Scenario monkey(am_, uid, ScenarioKind::kScrolling, rng_.Fork());
+      choreographer_.SetSource(&monkey);
+      engine.RunFor(fg_time);
+      choreographer_.SetSource(nullptr);
+    }
+    if (round >= 1) {
+      result.hot_per_round.push_back(hot);
+    }
+  }
+  // Give the final launch time to complete.
+  engine.RunFor(Sec(2));
+
+  const std::vector<LaunchRecord>& all = am_.launches();
+  for (size_t i = first_record; i < all.size(); ++i) {
+    result.records.push_back(all[i]);
+  }
+  return result;
+}
+
+}  // namespace ice

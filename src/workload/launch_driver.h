@@ -1,0 +1,45 @@
+// Launch-latency driver for §6.3 / Figure 11: repeatedly launches the 20
+// preinstalled applications round-robin (adb `am start` + Monkey-style
+// foreground interaction), recording launch style and latency, and counting
+// how many launches were hot in rounds 2..N (the app-caching capability).
+#ifndef SRC_WORKLOAD_LAUNCH_DRIVER_H_
+#define SRC_WORKLOAD_LAUNCH_DRIVER_H_
+
+#include <vector>
+
+#include "src/android/activity_manager.h"
+#include "src/android/choreographer.h"
+#include "src/base/rng.h"
+
+namespace ice {
+
+struct LaunchDriverResult {
+  std::vector<LaunchRecord> records;
+  // Hot launches per round, rounds 2..N (round 1 is all-cold by definition).
+  std::vector<int> hot_per_round;
+
+  double MeanLatencyMs() const;
+  double MeanColdMs() const;
+  double MeanHotMs() const;
+  int TotalHot() const;
+};
+
+class LaunchDriver {
+ public:
+  LaunchDriver(ActivityManager& am, Choreographer& choreographer, std::vector<Uid> apps,
+               Rng rng);
+
+  // Runs `rounds` rounds; each app stays foreground for `fg_time` with
+  // Monkey-style interaction before the next launch.
+  LaunchDriverResult RunRounds(int rounds, SimDuration fg_time);
+
+ private:
+  ActivityManager& am_;
+  Choreographer& choreographer_;
+  std::vector<Uid> apps_;
+  Rng rng_;
+};
+
+}  // namespace ice
+
+#endif  // SRC_WORKLOAD_LAUNCH_DRIVER_H_

@@ -1,0 +1,219 @@
+#include "src/android/activity_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "src/android/device_profile.h"
+#include "src/proc/task.h"
+#include "src/storage/flash_profiles.h"
+
+namespace ice {
+namespace {
+
+AppDescriptor SmallApp(const std::string& package, bool perceptible = false) {
+  AppDescriptor d;
+  d.package = package;
+  d.java_pages = 400;
+  d.native_pages = 600;
+  d.file_pages = 800;
+  d.service_pages = 100;
+  d.cold_launch_cpu = Ms(50);
+  d.hot_launch_cpu = Ms(5);
+  d.perceptible_in_bg = perceptible;
+  return d;
+}
+
+class AmTest : public ::testing::Test {
+ protected:
+  AmTest()
+      : storage_(engine_, Ufs21Profile()),
+        mm_(engine_, MemConfig{}, &storage_),
+        sched_(engine_, mm_, 4),
+        freezer_(engine_),
+        am_(engine_, sched_, mm_, freezer_) {}
+
+  App* InstallAndLaunch(const std::string& package) {
+    App* app = am_.Install(SmallApp(package));
+    am_.Launch(app->uid());
+    engine_.RunFor(Sec(2));
+    return app;
+  }
+
+  Engine engine_{1};
+  BlockDevice storage_;
+  MemoryManager mm_;
+  Scheduler sched_;
+  Freezer freezer_;
+  ActivityManager am_;
+};
+
+TEST_F(AmTest, InstallAssignsUids) {
+  App* a = am_.Install(SmallApp("a"));
+  App* b = am_.Install(SmallApp("b"));
+  EXPECT_NE(a->uid(), b->uid());
+  EXPECT_GE(a->uid(), 10000);
+  EXPECT_EQ(am_.FindApp(a->uid()), a);
+  EXPECT_EQ(am_.FindApp(999999), nullptr);
+  EXPECT_FALSE(a->running());
+}
+
+TEST_F(AmTest, ColdLaunchCreatesProcessesAndBecomesInteractive) {
+  App* app = InstallAndLaunch("a");
+  EXPECT_TRUE(app->running());
+  EXPECT_EQ(app->processes().size(), 2u);  // Main + service.
+  EXPECT_EQ(app->state(), AppState::kForeground);
+  EXPECT_EQ(app->oom_adj(), kAdjForeground);
+  EXPECT_EQ(am_.foreground_app(), app);
+  EXPECT_TRUE(am_.interactive(app->uid()));
+  EXPECT_EQ(mm_.foreground_uid(), app->uid());
+
+  ASSERT_EQ(am_.launches().size(), 1u);
+  const LaunchRecord& r = am_.launches()[0];
+  EXPECT_TRUE(r.cold);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.latency, Ms(10));
+  EXPECT_EQ(engine_.stats().Get(stat::kColdLaunches), 1u);
+}
+
+TEST_F(AmTest, ColdLaunchPopulatesResidency) {
+  App* app = InstallAndLaunch("a");
+  AddressSpace* space = am_.main_space(app->uid());
+  ASSERT_NE(space, nullptr);
+  EXPECT_GT(space->resident(), 500u);  // Prefixes touched.
+}
+
+TEST_F(AmTest, SecondLaunchIsHotAndFaster) {
+  App* app = InstallAndLaunch("a");
+  InstallAndLaunch("b");
+  EXPECT_EQ(app->state(), AppState::kCached);
+
+  am_.Launch(app->uid());
+  engine_.RunFor(Sec(2));
+  ASSERT_EQ(am_.launches().size(), 3u);
+  const LaunchRecord& cold = am_.launches()[0];
+  const LaunchRecord& hot = am_.launches()[2];
+  EXPECT_FALSE(hot.cold);
+  EXPECT_TRUE(hot.completed);
+  EXPECT_LT(hot.latency, cold.latency);
+  EXPECT_EQ(engine_.stats().Get(stat::kHotLaunches), 1u);
+}
+
+TEST_F(AmTest, ForegroundSwitchDemotesPrevious) {
+  App* a = InstallAndLaunch("a");
+  App* b = InstallAndLaunch("b");
+  EXPECT_EQ(am_.foreground_app(), b);
+  EXPECT_EQ(a->state(), AppState::kCached);
+  EXPECT_GE(a->oom_adj(), kAdjCachedBase);
+  EXPECT_EQ(mm_.foreground_uid(), b->uid());
+}
+
+TEST_F(AmTest, PerceptibleAppsGetAdj200) {
+  App* music = am_.Install(SmallApp("music", /*perceptible=*/true));
+  am_.Launch(music->uid());
+  engine_.RunFor(Sec(2));
+  InstallAndLaunch("other");
+  EXPECT_EQ(music->state(), AppState::kPerceptible);
+  EXPECT_EQ(music->oom_adj(), kAdjPerceptible);
+}
+
+TEST_F(AmTest, CachedAdjOrderedByStaleness) {
+  App* a = InstallAndLaunch("a");
+  App* b = InstallAndLaunch("b");
+  App* c = InstallAndLaunch("c");
+  EXPECT_EQ(c->state(), AppState::kForeground);
+  // a was foregrounded before b: staler => higher adj.
+  EXPECT_GT(a->oom_adj(), b->oom_adj());
+  EXPECT_GE(b->oom_adj(), kAdjCachedBase);
+}
+
+TEST_F(AmTest, KillAppReleasesEverything) {
+  App* a = InstallAndLaunch("a");
+  InstallAndLaunch("b");
+  int64_t free_before = mm_.free_pages();
+  am_.KillApp(*a);
+  EXPECT_FALSE(a->running());
+  EXPECT_EQ(a->state(), AppState::kNotRunning);
+  EXPECT_GT(mm_.free_pages(), free_before);
+  EXPECT_EQ(am_.main_space(a->uid()), nullptr);
+  EXPECT_EQ(am_.main_thread(a->uid()), nullptr);
+}
+
+TEST_F(AmTest, KillOneCachedPicksStalest) {
+  App* a = InstallAndLaunch("a");
+  App* b = InstallAndLaunch("b");
+  InstallAndLaunch("c");
+  EXPECT_TRUE(am_.KillOneCached());
+  EXPECT_FALSE(a->running());  // Stalest cached app died.
+  EXPECT_TRUE(b->running());
+}
+
+TEST_F(AmTest, KillOneCachedSkipsForegroundAndPerceptible) {
+  App* music = am_.Install(SmallApp("music", true));
+  am_.Launch(music->uid());
+  engine_.RunFor(Sec(2));
+  App* fg = InstallAndLaunch("fg");
+  EXPECT_FALSE(am_.KillOneCached());  // Only FG + perceptible alive.
+  EXPECT_TRUE(music->running());
+  EXPECT_TRUE(fg->running());
+}
+
+TEST_F(AmTest, RelaunchAfterKillIsCold) {
+  App* a = InstallAndLaunch("a");
+  am_.KillApp(*a);
+  am_.Launch(a->uid());
+  engine_.RunFor(Sec(2));
+  ASSERT_EQ(am_.launches().size(), 2u);
+  EXPECT_TRUE(am_.launches()[1].cold);
+  EXPECT_TRUE(a->running());
+}
+
+TEST_F(AmTest, LaunchThawsFrozenApp) {
+  App* a = InstallAndLaunch("a");
+  InstallAndLaunch("b");
+  freezer_.FreezeApp(*a);
+  ASSERT_TRUE(a->frozen());
+  am_.Launch(a->uid());
+  EXPECT_FALSE(a->frozen());  // Thaw-on-launch happens before display.
+  engine_.RunFor(Sec(2));
+  EXPECT_TRUE(am_.interactive(a->uid()));
+}
+
+TEST_F(AmTest, StateListenersFire) {
+  std::vector<std::pair<Uid, AppState>> transitions;
+  am_.AddStateListener([&](App& app, AppState old_state) {
+    transitions.emplace_back(app.uid(), old_state);
+  });
+  App* a = InstallAndLaunch("a");
+  EXPECT_FALSE(transitions.empty());
+  EXPECT_EQ(transitions[0].first, a->uid());
+  EXPECT_EQ(transitions[0].second, AppState::kNotRunning);
+}
+
+TEST_F(AmTest, DeathListenersFire) {
+  Uid died = kInvalidUid;
+  am_.AddDeathListener([&](App& app) { died = app.uid(); });
+  App* a = InstallAndLaunch("a");
+  InstallAndLaunch("b");
+  am_.KillApp(*a);
+  EXPECT_EQ(died, a->uid());
+}
+
+TEST_F(AmTest, LaunchCallbackReceivesRecord) {
+  App* a = am_.Install(SmallApp("a"));
+  LaunchRecord seen;
+  am_.Launch(a->uid(), [&](const LaunchRecord& r) { seen = r; });
+  engine_.RunFor(Sec(2));
+  EXPECT_TRUE(seen.completed);
+  EXPECT_EQ(seen.uid, a->uid());
+  EXPECT_TRUE(seen.cold);
+}
+
+TEST_F(AmTest, FindAppByPid) {
+  App* a = InstallAndLaunch("a");
+  Process* main = am_.main_process(a->uid());
+  ASSERT_NE(main, nullptr);
+  EXPECT_EQ(am_.FindAppByPid(main->pid()), a);
+  EXPECT_EQ(am_.FindAppByPid(999999), nullptr);
+}
+
+}  // namespace
+}  // namespace ice

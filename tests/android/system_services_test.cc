@@ -1,0 +1,88 @@
+#include "src/android/system_services.h"
+
+#include <gtest/gtest.h>
+
+#include "src/android/device_profile.h"
+#include "src/proc/behavior.h"
+#include "src/proc/task.h"
+#include "src/storage/flash_profiles.h"
+
+namespace ice {
+namespace {
+
+TEST(SystemServices, BaselineUtilizationMatchesTable1) {
+  // Table 1: ~43 % average CPU utilization with no apps.
+  Engine engine(1);
+  BlockDevice storage(engine, Ufs21Profile());
+  MemoryManager mm(engine, P20Profile().mem, &storage);
+  Scheduler sched(engine, mm, 8);
+  SystemServices services(sched, mm);
+  engine.RunFor(Sec(10));
+  EXPECT_NEAR(sched.utilization(), 0.43, 0.05);
+}
+
+TEST(SystemServices, KswapdCreatedAndWired) {
+  Engine engine(1);
+  BlockDevice storage(engine, Ufs21Profile());
+  MemConfig config;
+  config.total_pages = 2000;
+  config.os_reserved_pages = 200;
+  config.wm = Watermarks::FromHigh(120);
+  config.reclaim_contention_mean = 0;
+  MemoryManager mm(engine, config, &storage);
+  Scheduler sched(engine, mm, 4);
+  SystemServices services(sched, mm);
+  ASSERT_NE(services.kswapd(), nullptr);
+  EXPECT_TRUE(services.kswapd()->is_kernel());
+
+  engine.RunFor(Ms(10));
+  EXPECT_EQ(services.kswapd()->state(), TaskState::kSleeping);
+
+  // Drive below the low watermark: kswapd must wake and reclaim.
+  AddressSpaceLayout layout;
+  layout.native_pages = 1900;
+  AddressSpace space(1, 1, "hog", layout);
+  mm.Register(space);
+  for (uint32_t vpn = 0; vpn < 1710; ++vpn) {
+    mm.Access(space, vpn, false, nullptr);
+  }
+  engine.RunFor(Sec(2));
+  EXPECT_GE(mm.free_pages(), static_cast<int64_t>(mm.watermarks().high));
+  mm.Release(space);
+}
+
+TEST(SystemServices, ServiceTasksAreKernelSide) {
+  Engine engine(1);
+  BlockDevice storage(engine, Ufs21Profile());
+  MemoryManager mm(engine, MemConfig{}, &storage);
+  Scheduler sched(engine, mm, 8);
+  SystemServicesConfig config;
+  config.service_tasks = 5;
+  SystemServices services(sched, mm, config);
+  EXPECT_EQ(services.service_tasks().size(), 5u);
+  for (Task* t : services.service_tasks()) {
+    EXPECT_TRUE(t->is_kernel());
+  }
+}
+
+TEST(DeviceProfiles, MatchPaperTable4) {
+  DeviceProfile pixel3 = Pixel3Profile();
+  DeviceProfile p20 = P20Profile();
+  // Table 4: ZRAM 512 MB / 1024 MB; high watermark param 256 / 1024.
+  EXPECT_EQ(pixel3.mem.zram.capacity_bytes, 512 * kMiB);
+  EXPECT_EQ(p20.mem.zram.capacity_bytes, 1024 * kMiB);
+  EXPECT_EQ(pixel3.mdt_hwm_mib, 256u);
+  EXPECT_EQ(p20.mdt_hwm_mib, 1024u);
+  // 4 GB vs 6 GB RAM.
+  EXPECT_EQ(pixel3.mem.total_pages, BytesToPages(4 * kGiB));
+  EXPECT_EQ(p20.mem.total_pages, BytesToPages(6 * kGiB));
+  // Pixel3 is eMMC, P20 is UFS.
+  EXPECT_EQ(pixel3.flash.name, "eMMC5.1");
+  EXPECT_EQ(p20.flash.name, "UFS2.1");
+  // Fig. 8 setup: 6 vs 8 BG apps for full pressure.
+  EXPECT_EQ(pixel3.full_pressure_bg_apps, 6);
+  EXPECT_EQ(p20.full_pressure_bg_apps, 8);
+}
+
+}  // namespace
+}  // namespace ice

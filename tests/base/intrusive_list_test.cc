@@ -1,0 +1,130 @@
+#include "src/base/intrusive_list.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ice {
+namespace {
+
+struct TagA {};
+struct TagB {};
+
+struct Item : ListNode<TagA>, ListNode<TagB> {
+  explicit Item(int v) : value(v) {}
+  int value;
+};
+
+using ListA = IntrusiveList<Item, TagA>;
+using ListB = IntrusiveList<Item, TagB>;
+
+TEST(IntrusiveList, StartsEmpty) {
+  ListA list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.Front(), nullptr);
+  EXPECT_EQ(list.Back(), nullptr);
+  EXPECT_EQ(list.PopFront(), nullptr);
+  EXPECT_EQ(list.PopBack(), nullptr);
+}
+
+TEST(IntrusiveList, PushPopFifo) {
+  ListA list;
+  Item a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.PopFront()->value, 1);
+  EXPECT_EQ(list.PopFront()->value, 2);
+  EXPECT_EQ(list.PopFront()->value, 3);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveList, PushFrontLifo) {
+  ListA list;
+  Item a(1), b(2);
+  list.PushFront(&a);
+  list.PushFront(&b);
+  EXPECT_EQ(list.Front()->value, 2);
+  EXPECT_EQ(list.Back()->value, 1);
+  list.Clear();
+}
+
+TEST(IntrusiveList, RemoveMiddle) {
+  ListA list;
+  Item a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  list.Remove(&b);
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_FALSE(ListA::IsLinked(&b));
+  EXPECT_EQ(list.PopFront()->value, 1);
+  EXPECT_EQ(list.PopFront()->value, 3);
+}
+
+TEST(IntrusiveList, MembershipIsPerTag) {
+  ListA la;
+  ListB lb;
+  Item a(1);
+  la.PushBack(&a);
+  EXPECT_TRUE(ListA::IsLinked(&a));
+  EXPECT_FALSE(ListB::IsLinked(&a));
+  lb.PushBack(&a);
+  EXPECT_TRUE(ListB::IsLinked(&a));
+  la.Remove(&a);
+  EXPECT_FALSE(ListA::IsLinked(&a));
+  EXPECT_TRUE(ListB::IsLinked(&a));
+  lb.Remove(&a);
+}
+
+TEST(IntrusiveList, RotateFrontToBack) {
+  ListA list;
+  Item a(1), b(2);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.RotateFrontToBack();
+  EXPECT_EQ(list.Front()->value, 2);
+  EXPECT_EQ(list.Back()->value, 1);
+  list.Clear();
+}
+
+TEST(IntrusiveList, IterationVisitsInOrder) {
+  ListA list;
+  Item a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  std::vector<int> seen;
+  for (Item* item : list) {
+    seen.push_back(item->value);
+  }
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+  list.Clear();
+}
+
+TEST(IntrusiveList, ClearUnlinksEverything) {
+  ListA list;
+  Item a(1), b(2);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.Clear();
+  EXPECT_TRUE(list.empty());
+  EXPECT_FALSE(ListA::IsLinked(&a));
+  EXPECT_FALSE(ListA::IsLinked(&b));
+}
+
+TEST(IntrusiveList, MoveBetweenLists) {
+  ListA l1, l2;
+  Item a(1);
+  l1.PushBack(&a);
+  l1.Remove(&a);
+  l2.PushBack(&a);
+  EXPECT_TRUE(l1.empty());
+  EXPECT_EQ(l2.size(), 1u);
+  l2.Clear();
+}
+
+}  // namespace
+}  // namespace ice

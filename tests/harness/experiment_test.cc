@@ -1,0 +1,111 @@
+// Harness-level API coverage: construction across devices/schemes, catalog
+// install, caching helpers, scenario window accounting.
+#include "src/harness/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace ice {
+namespace {
+
+class SchemeSweep
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {};
+
+TEST_P(SchemeSweep, BuildsAndRunsShortScenario) {
+  auto [device_name, scheme] = GetParam();
+  ExperimentConfig config;
+  config.device = std::string(device_name) == "pixel3" ? Pixel3Profile() : P20Profile();
+  config.scheme = scheme;
+  config.seed = 23;
+  Experiment exp(config);
+  EXPECT_EQ(exp.scheme().name().empty(), false);
+  EXPECT_EQ(exp.catalog().size(), 20u);
+  ScenarioResult r = exp.RunScenario(ScenarioKind::kScrolling, Sec(5), Sec(5));
+  EXPECT_GT(r.avg_fps, 10.0);
+  EXPECT_LE(r.avg_fps, 61.0);
+  EXPECT_GE(r.cpu_util, 0.0);
+  EXPECT_LE(r.cpu_util, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SchemeSweep,
+    ::testing::Combine(::testing::Values("pixel3", "p20"),
+                       ::testing::Values("lru_cfs", "ucsg", "acclaim", "power", "ice")));
+
+TEST(Experiment, UidOfResolvesEveryCatalogApp) {
+  ExperimentConfig config;
+  config.seed = 3;
+  Experiment exp(config);
+  for (const CatalogApp& app : exp.catalog()) {
+    Uid uid = exp.UidOf(app.descriptor.package);
+    App* found = exp.am().FindApp(uid);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->package(), app.descriptor.package);
+  }
+}
+
+TEST(Experiment, CacheBackgroundAppsRespectsExclusions) {
+  ExperimentConfig config;
+  config.seed = 3;
+  Experiment exp(config);
+  Uid excluded = exp.UidOf("TikTok");
+  std::vector<Uid> cached = exp.CacheBackgroundApps(4, {excluded});
+  EXPECT_EQ(cached.size(), 4u);
+  for (Uid uid : cached) {
+    EXPECT_NE(uid, excluded);
+    App* app = exp.am().FindApp(uid);
+    ASSERT_NE(app, nullptr);
+    EXPECT_TRUE(app->running());
+    EXPECT_NE(app->state(), AppState::kForeground);
+  }
+  EXPECT_EQ(exp.am().foreground_app(), nullptr);
+}
+
+TEST(Experiment, ScenarioWindowExcludesWarmup) {
+  ExperimentConfig config;
+  config.seed = 3;
+  Experiment exp(config);
+  ScenarioResult r = exp.RunScenario(ScenarioKind::kVideoCall, Sec(10), Sec(5));
+  // The FPS series covers only the measurement window.
+  EXPECT_EQ(r.fps_series.size(), 10u);
+}
+
+TEST(Experiment, ExtendedCatalogGrowsTo40) {
+  ExperimentConfig config;
+  config.seed = 3;
+  config.extended_catalog = true;
+  Experiment exp(config);
+  EXPECT_EQ(exp.catalog().size(), 40u);
+  EXPECT_EQ(exp.CatalogUids().size(), 40u);
+}
+
+TEST(Experiment, DeviceFootprintScaleApplied) {
+  ExperimentConfig p20_config;
+  p20_config.seed = 3;
+  p20_config.device = P20Profile();
+  Experiment p20(p20_config);
+
+  ExperimentConfig px_config;
+  px_config.seed = 3;
+  px_config.device = Pixel3Profile();
+  Experiment pixel3(px_config);
+
+  // Pixel3 apps are configured leaner (footprint_scale < P20's).
+  const CatalogApp* a = FindInCatalog(p20.catalog(), "Twitter");
+  const CatalogApp* b = FindInCatalog(pixel3.catalog(), "Twitter");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_GT(a->descriptor.native_pages, b->descriptor.native_pages);
+}
+
+TEST(Experiment, IceHwmDefaultsFromDevice) {
+  ExperimentConfig config;
+  config.seed = 3;
+  config.scheme = "ice";
+  config.device = Pixel3Profile();
+  Experiment exp(config);
+  auto* daemon = static_cast<IceDaemon*>(&exp.scheme());
+  EXPECT_EQ(daemon->config().hwm_mib, Pixel3Profile().mdt_hwm_mib);
+}
+
+}  // namespace
+}  // namespace ice

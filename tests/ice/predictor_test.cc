@@ -1,0 +1,117 @@
+#include "src/ice/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.h"
+#include "src/ice/daemon.h"
+
+namespace ice {
+namespace {
+
+TEST(Predictor, EmptyPredictsNothing) {
+  AppUsagePredictor p;
+  EXPECT_TRUE(p.PredictNext(10001).empty());
+  EXPECT_EQ(p.TransitionProbability(10001, 10002), 0.0);
+  EXPECT_EQ(p.transitions_recorded(), 0u);
+}
+
+TEST(Predictor, LearnsMostLikelySuccessor) {
+  AppUsagePredictor p;
+  for (int i = 0; i < 5; ++i) {
+    p.RecordSwitch(1, 2);
+  }
+  p.RecordSwitch(1, 3);
+  auto next = p.PredictNext(1, 2);
+  ASSERT_EQ(next.size(), 2u);
+  EXPECT_EQ(next[0], 2);
+  EXPECT_EQ(next[1], 3);
+  EXPECT_NEAR(p.TransitionProbability(1, 2), 5.0 / 6.0, 1e-9);
+  EXPECT_NEAR(p.TransitionProbability(1, 3), 1.0 / 6.0, 1e-9);
+}
+
+TEST(Predictor, IgnoresInvalidAndSelfTransitions) {
+  AppUsagePredictor p;
+  p.RecordSwitch(kInvalidUid, 2);
+  p.RecordSwitch(2, kInvalidUid);
+  p.RecordSwitch(2, 2);
+  EXPECT_EQ(p.transitions_recorded(), 0u);
+}
+
+TEST(Predictor, FanoutBounded) {
+  AppUsagePredictor p;
+  for (Uid to = 10; to < 20; ++to) {
+    p.RecordSwitch(1, to);
+  }
+  EXPECT_EQ(p.PredictNext(1, 3).size(), 3u);
+  EXPECT_EQ(p.PredictNext(1, 100).size(), 10u);
+}
+
+TEST(Predictor, DeterministicTieBreak) {
+  AppUsagePredictor p;
+  p.RecordSwitch(1, 30);
+  p.RecordSwitch(1, 20);
+  auto next = p.PredictNext(1, 2);
+  ASSERT_EQ(next.size(), 2u);
+  EXPECT_EQ(next[0], 20);  // Equal counts: lower uid first.
+  EXPECT_EQ(next[1], 30);
+}
+
+TEST(Predictor, DaemonLearnsSwitchPattern) {
+  ExperimentConfig config;
+  config.seed = 3;
+  config.scheme = "ice";
+  config.ice.enable_prediction = true;
+  Experiment exp(config);
+  auto* daemon = static_cast<IceDaemon*>(&exp.scheme());
+
+  Uid a = exp.UidOf("Twitter");
+  Uid b = exp.UidOf("Amazon");
+  for (int i = 0; i < 3; ++i) {
+    exp.am().Launch(a);
+    exp.AwaitInteractive(a);
+    exp.am().Launch(b);
+    exp.AwaitInteractive(b);
+  }
+  EXPECT_GT(daemon->predictor().transitions_recorded(), 3u);
+  auto next = daemon->predictor().PredictNext(a, 1);
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next[0], b);
+}
+
+TEST(Predictor, PreThawsPredictedApp) {
+  ExperimentConfig config;
+  config.seed = 3;
+  config.scheme = "ice";
+  config.ice.enable_prediction = true;
+  Experiment exp(config);
+  auto* daemon = static_cast<IceDaemon*>(&exp.scheme());
+  (void)daemon;
+
+  Uid a = exp.UidOf("Twitter");
+  Uid b = exp.UidOf("Amazon");
+  // Teach the pattern a -> b.
+  for (int i = 0; i < 3; ++i) {
+    exp.am().Launch(a);
+    exp.AwaitInteractive(a);
+    exp.am().Launch(b);
+    exp.AwaitInteractive(b);
+  }
+  // Freeze b while it is cached, then switch to a: prediction must pre-thaw b.
+  exp.am().Launch(a);
+  exp.AwaitInteractive(a);
+  App* app_b = exp.am().FindApp(b);
+  ASSERT_TRUE(app_b->running());
+  exp.freezer().FreezeApp(*app_b);
+  ASSERT_TRUE(app_b->frozen());
+
+  exp.am().Launch(a);  // Re-assert FG a; listener fires on... already FG.
+  // Trigger via a fresh switch: go b? No — switch to a different app first.
+  Uid c = exp.UidOf("Chrome");
+  exp.am().Launch(c);
+  exp.AwaitInteractive(c);
+  exp.am().Launch(a);  // FG = a again: predicted next = b: pre-thaw.
+  EXPECT_FALSE(app_b->frozen());
+}
+
+}  // namespace
+}  // namespace ice

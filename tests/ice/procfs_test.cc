@@ -1,0 +1,91 @@
+#include "src/ice/procfs.h"
+
+#include <gtest/gtest.h>
+
+namespace ice {
+namespace {
+
+class ProcFsTest : public ::testing::Test {
+ protected:
+  MappingTable table_;
+  IceProcFs fs_{table_};
+};
+
+TEST_F(ProcFsTest, AddAndProc) {
+  EXPECT_TRUE(fs_.Write("ADD 10001"));
+  EXPECT_TRUE(fs_.Write("PROC 10001 211 900"));
+  EXPECT_TRUE(fs_.Write("PROC 10001 212 900"));
+  const auto* e = table_.Find(10001);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->processes.size(), 2u);
+  EXPECT_EQ(table_.UidOfPid(211), 10001);
+  EXPECT_EQ(fs_.writes_applied(), 3u);
+}
+
+TEST_F(ProcFsTest, AdjUpdatesAllProcesses) {
+  fs_.Write("ADD 10001");
+  fs_.Write("PROC 10001 211 0");
+  fs_.Write("PROC 10001 212 0");
+  EXPECT_TRUE(fs_.Write("ADJ 10001 200"));
+  for (const auto& p : table_.Find(10001)->processes) {
+    EXPECT_EQ(p.score, 200);
+  }
+}
+
+TEST_F(ProcFsTest, FreezeStateRoundTrip) {
+  fs_.Write("ADD 10001");
+  EXPECT_TRUE(fs_.Write("FREEZE 10001 1"));
+  EXPECT_TRUE(table_.Find(10001)->frozen);
+  EXPECT_TRUE(fs_.Write("FREEZE 10001 0"));
+  EXPECT_FALSE(table_.Find(10001)->frozen);
+}
+
+TEST_F(ProcFsTest, ExitAndDel) {
+  fs_.Write("ADD 10001");
+  fs_.Write("PROC 10001 211 900");
+  EXPECT_TRUE(fs_.Write("EXIT 10001 211"));
+  EXPECT_EQ(table_.UidOfPid(211), kInvalidUid);
+  EXPECT_TRUE(fs_.Write("DEL 10001"));
+  EXPECT_EQ(table_.Find(10001), nullptr);
+}
+
+TEST_F(ProcFsTest, MalformedRecordsRejected) {
+  EXPECT_FALSE(fs_.Write(""));
+  EXPECT_FALSE(fs_.Write("NOPE 1 2"));
+  EXPECT_FALSE(fs_.Write("ADD"));
+  EXPECT_FALSE(fs_.Write("PROC 10001"));
+  EXPECT_FALSE(fs_.Write("FREEZE 10001"));
+  EXPECT_EQ(fs_.writes_applied(), 0u);
+  EXPECT_EQ(fs_.writes_rejected(), 5u);
+  EXPECT_EQ(table_.app_count(), 0u);
+}
+
+TEST_F(ProcFsTest, OperationsOnUnknownUidRejected) {
+  EXPECT_FALSE(fs_.Write("PROC 999 1 0"));
+  EXPECT_FALSE(fs_.Write("DEL 999"));
+  EXPECT_FALSE(fs_.Write("ADJ 999 0"));
+  EXPECT_FALSE(fs_.Write("FREEZE 999 1"));
+}
+
+TEST_F(ProcFsTest, ReadRendersTable) {
+  fs_.Write("ADD 10001");
+  fs_.Write("PROC 10001 211 900");
+  fs_.Write("FREEZE 10001 1");
+  fs_.Write("ADD 10002");
+  std::string out = fs_.Read();
+  EXPECT_NE(out.find("10001 1 211:900"), std::string::npos);
+  EXPECT_NE(out.find("10002 0"), std::string::npos);
+}
+
+TEST_F(ProcFsTest, TableBoundSurfacesAsRejectedWrite) {
+  int added = 0;
+  while (fs_.Write("ADD " + std::to_string(20000 + added))) {
+    ++added;
+  }
+  EXPECT_GT(added, 100);
+  EXPECT_GT(fs_.writes_rejected(), 0u);
+  EXPECT_LE(table_.MemoryFootprintBytes(), MappingTable::kUpperBoundBytes);
+}
+
+}  // namespace
+}  // namespace ice

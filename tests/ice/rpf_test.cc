@@ -1,0 +1,126 @@
+// RPF behavior on a full system: refault events freeze the offending app at
+// application granularity, with kernel/service/whitelist sifting.
+#include "src/ice/rpf.h"
+
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.h"
+#include "src/ice/daemon.h"
+
+namespace ice {
+namespace {
+
+class RpfTest : public ::testing::Test {
+ protected:
+  RpfTest() {
+    ExperimentConfig config;
+    config.seed = 3;
+    config.scheme = "ice";
+    exp_ = std::make_unique<Experiment>(config);
+    daemon_ = static_cast<IceDaemon*>(&exp_->scheme());
+  }
+
+  // Launches an app, backgrounds it, and evicts all its pages so its next BG
+  // activity refaults.
+  App* PrepareRefaultingBgApp(const std::string& package) {
+    Uid uid = exp_->UidOf(package);
+    exp_->am().Launch(uid);
+    exp_->AwaitInteractive(uid);
+    exp_->am().MoveForegroundToBackground();
+    App* app = exp_->am().FindApp(uid);
+    exp_->mm().ReclaimAllOf(exp_->am().main_process(uid)->space());
+    return app;
+  }
+
+  std::unique_ptr<Experiment> exp_;
+  IceDaemon* daemon_;
+};
+
+TEST_F(RpfTest, BgRefaultTriggersApplicationGrainFreeze) {
+  App* app = PrepareRefaultingBgApp("Twitter");
+  ASSERT_FALSE(app->frozen());
+  // Let the app's BG activity run: it will touch evicted pages and refault.
+  exp_->engine().RunFor(Sec(30));
+  EXPECT_TRUE(app->frozen());
+  EXPECT_GE(daemon_->rpf().freezes_triggered(), 1u);
+  // Application granularity: every process of the app is frozen.
+  for (Process* p : app->processes()) {
+    for (Task* t : p->tasks()) {
+      EXPECT_TRUE(t->frozen() || t->state() == TaskState::kBlocked);
+    }
+  }
+  EXPECT_TRUE(daemon_->mdt().managing(app->uid()));
+  EXPECT_TRUE(daemon_->mapping_table().Find(app->uid())->frozen);
+}
+
+TEST_F(RpfTest, ForegroundRefaultsDoNotFreeze) {
+  Uid uid = exp_->UidOf("TikTok");
+  exp_->am().Launch(uid);
+  exp_->AwaitInteractive(uid);
+  App* app = exp_->am().FindApp(uid);
+  // Evict everything, then let the FG app fault its pages back.
+  exp_->mm().ReclaimAllOf(exp_->am().main_process(uid)->space());
+  Scenario scenario(exp_->am(), uid, ScenarioKind::kShortVideo, Rng(5));
+  exp_->choreographer().SetSource(&scenario);
+  exp_->choreographer().Start();
+  exp_->engine().RunFor(Sec(10));
+  exp_->choreographer().SetSource(nullptr);
+  EXPECT_FALSE(app->frozen());
+  EXPECT_GT(daemon_->rpf().events_foreground(), 0u);
+}
+
+TEST_F(RpfTest, PerceptibleAppsAreWhitelisted) {
+  // Skype is perceptible in BG (adj 200): protected by the whitelist.
+  App* app = PrepareRefaultingBgApp("Skype");
+  ASSERT_EQ(app->oom_adj(), kAdjPerceptible);
+  exp_->engine().RunFor(Sec(30));
+  EXPECT_FALSE(app->frozen());
+  EXPECT_GT(daemon_->rpf().events_sifted(), 0u);
+}
+
+TEST_F(RpfTest, ManualWhitelistProtects) {
+  Uid uid = exp_->UidOf("Twitter");
+  daemon_->whitelist().AddManual(uid);
+  App* app = PrepareRefaultingBgApp("Twitter");
+  exp_->engine().RunFor(Sec(30));
+  EXPECT_FALSE(app->frozen());
+}
+
+TEST_F(RpfTest, EventsSeenCounted) {
+  PrepareRefaultingBgApp("Twitter");
+  exp_->engine().RunFor(Sec(30));
+  EXPECT_GT(daemon_->rpf().events_seen(), 0u);
+}
+
+TEST_F(RpfTest, SingleProcessGrainLeavesSiblingRunning) {
+  // Ablation: application_grain = false freezes only the faulting process.
+  ExperimentConfig config;
+  config.seed = 3;
+  config.scheme = "ice";
+  config.ice.application_grain = false;
+  Experiment exp(config);
+  IceDaemon* daemon = static_cast<IceDaemon*>(&exp.scheme());
+
+  Uid uid = exp.UidOf("Twitter");
+  exp.am().Launch(uid);
+  exp.AwaitInteractive(uid);
+  exp.am().MoveForegroundToBackground();
+  App* app = exp.am().FindApp(uid);
+  // Evict only the main process: its BG work refaults; the service process
+  // stays untouched and must keep running after the freeze.
+  exp.mm().ReclaimAllOf(exp.am().main_process(uid)->space());
+  exp.engine().RunFor(Sec(30));
+  if (daemon->rpf().freezes_triggered() > 0) {
+    Process* svc = app->processes()[1];
+    bool any_svc_unfrozen = false;
+    for (Task* t : svc->tasks()) {
+      if (!t->frozen()) {
+        any_svc_unfrozen = true;
+      }
+    }
+    EXPECT_TRUE(any_svc_unfrozen);
+  }
+}
+
+}  // namespace
+}  // namespace ice

@@ -1,0 +1,37 @@
+#include "src/ice/whitelist.h"
+
+#include <gtest/gtest.h>
+
+#include "src/proc/app.h"
+
+namespace ice {
+namespace {
+
+TEST(Whitelist, AdjThresholdProtects) {
+  Whitelist wl(200);
+  // §4.4: FG (adj 0) and perceptible (adj 200) apps are protected.
+  EXPECT_TRUE(wl.Protects(10001, kAdjForeground));
+  EXPECT_TRUE(wl.Protects(10001, kAdjPerceptible));
+  EXPECT_FALSE(wl.Protects(10001, kAdjPerceptible + 1));
+  EXPECT_FALSE(wl.Protects(10001, kAdjCachedBase));
+}
+
+TEST(Whitelist, ManualPinsProtectRegardlessOfAdj) {
+  Whitelist wl(200);
+  wl.AddManual(10042);  // Vendor-pinned antivirus.
+  EXPECT_TRUE(wl.Protects(10042, 950));
+  EXPECT_TRUE(wl.IsManual(10042));
+  EXPECT_EQ(wl.manual_size(), 1u);
+  wl.RemoveManual(10042);
+  EXPECT_FALSE(wl.Protects(10042, 950));
+}
+
+TEST(Whitelist, ThresholdConfigurable) {
+  Whitelist strict(0);  // Only the foreground app protected.
+  EXPECT_TRUE(strict.Protects(1, 0));
+  EXPECT_FALSE(strict.Protects(1, 200));
+  EXPECT_EQ(strict.adj_threshold(), 0);
+}
+
+}  // namespace
+}  // namespace ice

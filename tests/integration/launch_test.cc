@@ -1,0 +1,102 @@
+// Launch-driver and usage-trace integration coverage (§6.3 machinery).
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.h"
+#include "src/workload/launch_driver.h"
+#include "src/workload/usage_trace.h"
+
+namespace ice {
+namespace {
+
+TEST(LaunchDriver, FirstRoundAllCold) {
+  ExperimentConfig config;
+  config.seed = 3;
+  Experiment exp(config);
+  std::vector<Uid> all = exp.CatalogUids();
+  std::vector<Uid> apps(all.begin(), all.begin() + 6);
+  LaunchDriver driver(exp.am(), exp.choreographer(), apps, exp.engine().rng().Fork());
+  LaunchDriverResult result = driver.RunRounds(2, Sec(4));
+  ASSERT_EQ(result.records.size(), 12u);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_TRUE(result.records[i].cold) << "round 1 must cold-launch";
+  }
+  ASSERT_EQ(result.hot_per_round.size(), 1u);
+}
+
+TEST(LaunchDriver, HotLaunchesFasterThanCold) {
+  ExperimentConfig config;
+  config.seed = 3;
+  Experiment exp(config);
+  std::vector<Uid> all = exp.CatalogUids();
+  std::vector<Uid> apps(all.begin(), all.begin() + 4);
+  LaunchDriver driver(exp.am(), exp.choreographer(), apps, exp.engine().rng().Fork());
+  LaunchDriverResult result = driver.RunRounds(3, Sec(4));
+  double cold = result.MeanColdMs();
+  double hot = result.MeanHotMs();
+  ASSERT_GT(cold, 0.0);
+  if (hot > 0.0) {
+    EXPECT_LT(hot, cold);
+  }
+  EXPECT_GT(result.TotalHot(), 0);
+}
+
+TEST(LaunchDriver, PressureCausesLmkKillsAndColdRelaunches) {
+  ExperimentConfig config;
+  config.seed = 3;
+  config.device = Pixel3Profile();  // 4 GB + 512 MB zram: 20 apps cannot fit.
+  Experiment exp(config);
+  // All 20 apps cannot be cached simultaneously: LMK must kill some, making
+  // later rounds partially cold (the Fig. 11b effect).
+  LaunchDriver driver(exp.am(), exp.choreographer(), exp.CatalogUids(),
+                      exp.engine().rng().Fork());
+  LaunchDriverResult result = driver.RunRounds(3, Sec(6));
+  ASSERT_EQ(result.hot_per_round.size(), 2u);
+  EXPECT_LT(result.hot_per_round[0] + result.hot_per_round[1], 40);
+  EXPECT_GT(exp.engine().stats().Get(stat::kLmkKills), 0u);
+}
+
+TEST(UsageTrace, ProducesDailyStats) {
+  ExperimentConfig config;
+  config.seed = 3;
+  Experiment exp(config);
+  std::vector<UsageTraceRunner::InstalledApp> apps;
+  for (size_t i = 0; i < exp.catalog().size(); ++i) {
+    apps.push_back({exp.CatalogUids()[i], exp.catalog()[i].category});
+  }
+  UsageTraceRunner::Config trace_config;
+  trace_config.days = 2;
+  trace_config.sessions_per_day = 6;
+  trace_config.session_mean = Sec(8);
+  UsageTraceRunner runner(exp.am(), exp.choreographer(), apps,
+                          exp.engine().rng().Fork(), trace_config);
+  runner.Run();
+  ASSERT_EQ(runner.day_stats().size(), 2u);
+  EXPECT_FALSE(runner.samples().empty());
+  // Cumulative samples are monotonic.
+  for (size_t i = 1; i < runner.samples().size(); ++i) {
+    EXPECT_GE(runner.samples()[i].cum_evicted, runner.samples()[i - 1].cum_evicted);
+    EXPECT_GE(runner.samples()[i].cum_refaulted, runner.samples()[i - 1].cum_refaulted);
+  }
+}
+
+TEST(UsageTrace, EvictionsAppearUnderSustainedUsage) {
+  ExperimentConfig config;
+  config.seed = 9;
+  Experiment exp(config);
+  std::vector<UsageTraceRunner::InstalledApp> apps;
+  for (size_t i = 0; i < exp.catalog().size(); ++i) {
+    apps.push_back({exp.CatalogUids()[i], exp.catalog()[i].category});
+  }
+  UsageTraceRunner::Config trace_config;
+  trace_config.days = 1;
+  trace_config.sessions_per_day = 14;
+  trace_config.session_mean = Sec(10);
+  UsageTraceRunner runner(exp.am(), exp.choreographer(), apps,
+                          exp.engine().rng().Fork(), trace_config);
+  runner.Run();
+  uint64_t evicted = runner.day_stats()[0].evicted;
+  EXPECT_GT(evicted, 1000u) << "a day of app switching must trigger reclaim";
+}
+
+}  // namespace
+}  // namespace ice

@@ -1,0 +1,159 @@
+// Memory-pressure integration: the §2/§3 observations reproduced end to end.
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.h"
+#include "src/workload/synthetic.h"
+
+namespace ice {
+namespace {
+
+TEST(Pressure, MemtesterCausesReclaimButFewRefaults) {
+  // §2.2.3: memtester fills memory once; reclaim happens but the reclaimed
+  // pages are rarely demanded again (BG-memtester vs BG-apps in Fig. 2a).
+  ExperimentConfig config;
+  config.seed = 5;
+  Experiment exp(config);
+  InstallMemtester(exp.am(), static_cast<uint64_t>(3400) * kMiB);
+  exp.engine().RunFor(Sec(40));
+  Uid fg = exp.UidOf("TikTok");
+  ScenarioResult r = exp.RunScenario(ScenarioKind::kShortVideo, Sec(30), Sec(60));
+  (void)fg;
+  EXPECT_GT(r.reclaims, 100u);
+  // Refaults stay far below the BG-apps case (ratio check, not absolute).
+  EXPECT_LT(r.refaults, r.reclaims / 2);
+}
+
+TEST(Pressure, BgAppsCauseMoreRefaultsThanMemtester) {
+  uint64_t refaults_apps = 0;
+  uint64_t refaults_memtester = 0;
+  {
+    ExperimentConfig config;
+    config.seed = 5;
+    Experiment exp(config);
+    Uid fg = exp.UidOf("TikTok");
+    exp.CacheBackgroundApps(8, {fg});
+    refaults_apps = exp.RunScenario(ScenarioKind::kShortVideo, Sec(30), Sec(120)).refaults;
+  }
+  {
+    ExperimentConfig config;
+    config.seed = 5;
+    Experiment exp(config);
+    InstallMemtester(exp.am(), static_cast<uint64_t>(3400) * kMiB);
+    exp.engine().RunFor(Sec(40));
+    refaults_memtester =
+        exp.RunScenario(ScenarioKind::kShortVideo, Sec(30), Sec(120)).refaults;
+  }
+  EXPECT_GT(refaults_apps, refaults_memtester * 3);
+}
+
+TEST(Pressure, MostRefaultsAreBackground) {
+  // Fig. 3: >60 % of refaults come from BG processes.
+  ExperimentConfig config;
+  config.seed = 7;
+  Experiment exp(config);
+  Uid fg = exp.UidOf("Facebook");
+  exp.CacheBackgroundApps(8, {fg});
+  ScenarioResult r = exp.RunScenario(ScenarioKind::kScrolling, Sec(30), Sec(180));
+  ASSERT_GT(r.refaults, 0u);
+  EXPECT_GT(static_cast<double>(r.refaults_bg) / r.refaults, 0.6);
+}
+
+TEST(Pressure, RefaultsSplitAcrossAnonAndFile) {
+  // Fig. 4: both anonymous and file-backed pages refault; anonymous splits
+  // across native and Java heaps.
+  ExperimentConfig config;
+  config.seed = 7;
+  Experiment exp(config);
+  Uid fg = exp.UidOf("TikTok");
+  exp.CacheBackgroundApps(8, {fg});
+  exp.RunScenario(ScenarioKind::kShortVideo, Sec(30), Sec(180));
+  StatsRegistry& st = exp.engine().stats();
+  EXPECT_GT(st.Get(stat::kRefaultsAnon), 0u);
+  EXPECT_GT(st.Get(stat::kRefaultsFile), 0u);
+  EXPECT_GT(st.Get(stat::kRefaultsJavaHeap), 0u);
+  EXPECT_GT(st.Get(stat::kRefaultsNativeHeap), 0u);
+}
+
+TEST(Pressure, FpsDegradesUnderBgApps) {
+  // Fig. 1: FPS visibly degrades with 8 BG apps vs BG-null.
+  double fps_null = 0, fps_apps = 0;
+  {
+    ExperimentConfig config;
+    config.seed = 11;
+    Experiment exp(config);
+    fps_null = exp.RunScenario(ScenarioKind::kVideoCall, Sec(30), Sec(60)).avg_fps;
+  }
+  {
+    ExperimentConfig config;
+    config.seed = 11;
+    Experiment exp(config);
+    Uid fg = exp.UidOf("WhatsApp");
+    exp.CacheBackgroundApps(8, {fg});
+    fps_apps = exp.RunScenario(ScenarioKind::kVideoCall, Sec(30), Sec(180)).avg_fps;
+  }
+  EXPECT_LT(fps_apps, fps_null * 0.92);
+}
+
+TEST(Pressure, IceRecoversFps) {
+  // Fig. 8's headline: Ice beats LRU+CFS under full BG pressure.
+  double fps_lru = 0, fps_ice = 0;
+  for (const char* scheme : {"lru_cfs", "ice"}) {
+    ExperimentConfig config;
+    config.seed = 11;
+    config.scheme = scheme;
+    Experiment exp(config);
+    Uid fg = exp.UidOf("WhatsApp");
+    exp.CacheBackgroundApps(8, {fg});
+    double fps = exp.RunScenario(ScenarioKind::kVideoCall, Sec(30), Sec(180)).avg_fps;
+    (std::string(scheme) == "ice" ? fps_ice : fps_lru) = fps;
+  }
+  EXPECT_GT(fps_ice, fps_lru * 1.1);
+}
+
+TEST(Pressure, IceReducesReclaimAndRefault) {
+  // Fig. 10: Ice reduces both refaults and reclaims vs LRU+CFS.
+  uint64_t rec_lru = 0, rec_ice = 0, rf_lru = 0, rf_ice = 0;
+  for (const char* scheme : {"lru_cfs", "ice"}) {
+    ExperimentConfig config;
+    config.seed = 11;
+    config.scheme = scheme;
+    Experiment exp(config);
+    Uid fg = exp.UidOf("TikTok");
+    exp.CacheBackgroundApps(8, {fg});
+    ScenarioResult r = exp.RunScenario(ScenarioKind::kShortVideo, Sec(30), Sec(180));
+    if (std::string(scheme) == "ice") {
+      rec_ice = r.reclaims;
+      rf_ice = r.refaults;
+    } else {
+      rec_lru = r.reclaims;
+      rf_lru = r.refaults;
+    }
+  }
+  EXPECT_LT(rf_ice, rf_lru / 2);
+  EXPECT_LT(rec_ice, rec_lru);
+}
+
+TEST(Pressure, IceOnlyFreezesRefaultingApps) {
+  // §6.2.1: "only 4 BG applications on average are frozen ... inactive
+  // applications and active applications that do not cause refault are not
+  // frozen."
+  ExperimentConfig config;
+  config.seed = 11;
+  config.scheme = "ice";
+  Experiment exp(config);
+  Uid fg = exp.UidOf("TikTok");
+  auto cached = exp.CacheBackgroundApps(8, {fg});
+  exp.RunScenario(ScenarioKind::kShortVideo, Sec(30), Sec(180));
+  int frozen = 0;
+  for (Uid uid : cached) {
+    App* app = exp.am().FindApp(uid);
+    if (app != nullptr && app->running() && app->frozen()) {
+      ++frozen;
+    }
+  }
+  EXPECT_GT(frozen, 0);
+  EXPECT_LT(frozen, 8) << "selective freezing, not freeze-all";
+}
+
+}  // namespace
+}  // namespace ice

@@ -1,0 +1,83 @@
+#include "src/mem/address_space.h"
+
+#include <gtest/gtest.h>
+
+namespace ice {
+namespace {
+
+AddressSpaceLayout SmallLayout() {
+  AddressSpaceLayout layout;
+  layout.java_pages = 10;
+  layout.native_pages = 20;
+  layout.file_pages = 30;
+  return layout;
+}
+
+TEST(AddressSpace, LayoutRegions) {
+  AddressSpace space(100, 10001, "app", SmallLayout());
+  EXPECT_EQ(space.total_pages(), 60u);
+  EXPECT_EQ(space.java_begin(), 0u);
+  EXPECT_EQ(space.java_end(), 10u);
+  EXPECT_EQ(space.native_begin(), 10u);
+  EXPECT_EQ(space.native_end(), 30u);
+  EXPECT_EQ(space.file_begin(), 30u);
+  EXPECT_EQ(space.file_end(), 60u);
+}
+
+TEST(AddressSpace, KindOfMatchesRegion) {
+  AddressSpace space(100, 10001, "app", SmallLayout());
+  EXPECT_EQ(space.KindOf(0), HeapKind::kJavaHeap);
+  EXPECT_EQ(space.KindOf(9), HeapKind::kJavaHeap);
+  EXPECT_EQ(space.KindOf(10), HeapKind::kNativeHeap);
+  EXPECT_EQ(space.KindOf(29), HeapKind::kNativeHeap);
+  EXPECT_EQ(space.KindOf(30), HeapKind::kFile);
+  EXPECT_EQ(space.KindOf(59), HeapKind::kFile);
+}
+
+TEST(AddressSpace, PagesInitialized) {
+  AddressSpace space(7, 10002, "app", SmallLayout());
+  for (uint32_t vpn = 0; vpn < space.total_pages(); ++vpn) {
+    const PageInfo& p = space.page(vpn);
+    EXPECT_EQ(p.owner, &space);
+    EXPECT_EQ(p.vpn, vpn);
+    EXPECT_EQ(p.state, PageState::kUntouched);
+    EXPECT_EQ(p.kind, space.KindOf(vpn));
+  }
+}
+
+TEST(AddressSpace, IdentityAccessors) {
+  AddressSpace space(42, 10099, "com.example", SmallLayout());
+  EXPECT_EQ(space.pid(), 42);
+  EXPECT_EQ(space.uid(), 10099);
+  EXPECT_EQ(space.name(), "com.example");
+}
+
+TEST(AddressSpace, ResidencyCountersClamp) {
+  AddressSpace space(1, 1, "x", SmallLayout());
+  space.AddResident(5);
+  EXPECT_EQ(space.resident(), 5u);
+  space.AddResident(-5);
+  EXPECT_EQ(space.resident(), 0u);
+  space.AddEvicted(3);
+  space.AddEvicted(-3);
+  EXPECT_EQ(space.evicted(), 0u);
+}
+
+TEST(AddressSpace, BytesToPagesRounding) {
+  EXPECT_EQ(BytesToPages(0), 0u);
+  EXPECT_EQ(BytesToPages(1), 1u);
+  EXPECT_EQ(BytesToPages(kPageSize), 1u);
+  EXPECT_EQ(BytesToPages(kPageSize + 1), 2u);
+  EXPECT_EQ(BytesToPages(kMiB), 256u);
+}
+
+TEST(AddressSpace, OwnsItsLru) {
+  AddressSpace space(1, 1, "x", SmallLayout());
+  EXPECT_EQ(space.lru().total_size(), 0u);
+  space.lru().Insert(&space.page(0));
+  EXPECT_EQ(space.lru().total_size(), 1u);
+  space.lru().Remove(&space.page(0));
+}
+
+}  // namespace
+}  // namespace ice

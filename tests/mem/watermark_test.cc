@@ -1,0 +1,40 @@
+#include "src/mem/watermark.h"
+
+#include <gtest/gtest.h>
+
+namespace ice {
+namespace {
+
+TEST(Watermarks, PaperRatios) {
+  // Footnote to Table 4: low = 5/6 high, min = 2/3 high.
+  Watermarks wm = Watermarks::FromHigh(600);
+  EXPECT_EQ(wm.high, 600u);
+  EXPECT_EQ(wm.low, 500u);
+  EXPECT_EQ(wm.min, 400u);
+}
+
+TEST(Watermarks, KswapdTriggers) {
+  Watermarks wm = Watermarks::FromHigh(600);
+  EXPECT_FALSE(wm.NeedsKswapd(500));  // At low: ok.
+  EXPECT_TRUE(wm.NeedsKswapd(499));
+  EXPECT_TRUE(wm.KswapdDone(600));
+  EXPECT_FALSE(wm.KswapdDone(599));
+}
+
+TEST(Watermarks, DirectReclaimTriggers) {
+  Watermarks wm = Watermarks::FromHigh(600);
+  EXPECT_FALSE(wm.NeedsDirectReclaim(401));
+  EXPECT_TRUE(wm.NeedsDirectReclaim(400));
+  EXPECT_TRUE(wm.NeedsDirectReclaim(0));
+}
+
+TEST(Watermarks, OrderingInvariant) {
+  for (PageCount high : {6u, 60u, 600u, 65536u}) {
+    Watermarks wm = Watermarks::FromHigh(high);
+    EXPECT_LE(wm.min, wm.low);
+    EXPECT_LE(wm.low, wm.high);
+  }
+}
+
+}  // namespace
+}  // namespace ice

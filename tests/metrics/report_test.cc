@@ -1,0 +1,67 @@
+#include "src/metrics/report.h"
+
+#include <gtest/gtest.h>
+
+#include "src/metrics/frame_stats.h"
+
+namespace ice {
+namespace {
+
+TEST(Table, FormatsAlignedColumns) {
+  Table table({"a", "long header"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"yyyy", "22"});
+  std::string s = table.ToString();
+  EXPECT_NE(s.find("| a    | long header |"), std::string::npos);
+  EXPECT_NE(s.find("| x    | 1           |"), std::string::npos);
+  EXPECT_NE(s.find("| yyyy | 22          |"), std::string::npos);
+}
+
+TEST(Table, NumPrecision) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(3.14159, 0), "3");
+  EXPECT_EQ(Table::Num(42.0), "42.0");
+}
+
+TEST(Table, PctFormatsFraction) {
+  EXPECT_EQ(Table::Pct(0.5), "50.0%");
+  EXPECT_EQ(Table::Pct(0.123, 0), "12%");
+  EXPECT_EQ(Table::Pct(1.57, 0), "157%");
+}
+
+TEST(FrameStatsExtra, LatencyHistogramPopulated) {
+  FrameStats stats;
+  stats.RecordFrame(0, Ms(10));
+  stats.RecordFrame(0, Ms(20));
+  EXPECT_EQ(stats.latency_us().count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.latency_us().Max(), static_cast<double>(Ms(20)));
+}
+
+TEST(FrameStatsExtra, ExactDeadlineIsNotLate) {
+  FrameStats stats;
+  stats.RecordFrame(0, kInteractionAlertUs);  // Exactly 16.6 ms: on time.
+  EXPECT_DOUBLE_EQ(stats.Ria(), 0.0);
+  stats.RecordFrame(0, kInteractionAlertUs + 1);
+  EXPECT_DOUBLE_EQ(stats.Ria(), 0.5);
+}
+
+TEST(FrameStatsExtra, FpsPerSecondBucketsEdges) {
+  FrameStats stats;
+  stats.RecordFrame(0, 1);                    // Second 0.
+  stats.RecordFrame(0, kSecond - 1);          // Second 0.
+  stats.RecordFrame(0, kSecond);              // Second 1.
+  auto series = stats.FpsPerSecond(0, 2 * kSecond);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0], 2.0);
+  EXPECT_DOUBLE_EQ(series[1], 1.0);
+}
+
+TEST(FrameStatsExtra, EmptyWindows) {
+  FrameStats stats;
+  EXPECT_DOUBLE_EQ(stats.AverageFps(10, 10), 0.0);
+  EXPECT_DOUBLE_EQ(stats.AverageFps(20, 10), 0.0);
+  EXPECT_TRUE(stats.FpsPerSecond(20, 10).empty());
+}
+
+}  // namespace
+}  // namespace ice

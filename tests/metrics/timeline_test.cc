@@ -1,0 +1,85 @@
+#include "src/metrics/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include "src/storage/flash_profiles.h"
+
+namespace ice {
+namespace {
+
+MemConfig TinyConfig() {
+  MemConfig config;
+  config.total_pages = 2000;
+  config.os_reserved_pages = 200;
+  config.wm = Watermarks::FromHigh(120);
+  config.reclaim_contention_mean = 0;
+  return config;
+}
+
+TEST(MemoryTimeline, SamplesOnInterval) {
+  Engine engine(1);
+  BlockDevice storage(engine, Ufs21Profile());
+  MemoryManager mm(engine, TinyConfig(), &storage);
+  MemoryTimeline timeline(engine, mm, Sec(1));
+  engine.RunFor(Sec(5));
+  // Initial sample + one per second (boundary effects allow one slack).
+  EXPECT_GE(timeline.samples().size(), 5u);
+  EXPECT_LE(timeline.samples().size(), 7u);
+  EXPECT_EQ(timeline.samples()[0].time, 0u);
+}
+
+TEST(MemoryTimeline, TracksFreeMemoryChanges) {
+  Engine engine(1);
+  BlockDevice storage(engine, Ufs21Profile());
+  MemoryManager mm(engine, TinyConfig(), &storage);
+  MemoryTimeline timeline(engine, mm, Ms(100));
+
+  AddressSpaceLayout layout;
+  layout.native_pages = 1000;
+  AddressSpace space(1, 1, "hog", layout);
+  mm.Register(space);
+  for (uint32_t vpn = 0; vpn < 1000; ++vpn) {
+    mm.Access(space, vpn, false, nullptr);
+  }
+  engine.RunFor(Sec(1));
+  EXPECT_LT(timeline.MinFreePages(), 1800 - 900);
+  const TimelineSample& last = timeline.samples().back();
+  EXPECT_EQ(last.free_pages, mm.free_pages());
+  mm.Release(space);
+}
+
+TEST(MemoryTimeline, RefaultRatioComputed) {
+  Engine engine(1);
+  BlockDevice storage(engine, Ufs21Profile());
+  MemoryManager mm(engine, TinyConfig(), &storage);
+  MemoryTimeline timeline(engine, mm, Ms(50));
+
+  AddressSpaceLayout layout;
+  layout.native_pages = 100;
+  AddressSpace space(1, 1, "a", layout);
+  mm.Register(space);
+  for (uint32_t vpn = 0; vpn < 100; ++vpn) {
+    mm.Access(space, vpn, false, nullptr);
+  }
+  mm.ReclaimAllOf(space);
+  for (uint32_t vpn = 0; vpn < 50; ++vpn) {
+    mm.Access(space, vpn, false, nullptr);  // 50 refaults of 100 evictions.
+  }
+  engine.RunFor(Ms(200));
+  EXPECT_NEAR(timeline.FinalRefaultRatio(), 0.5, 0.01);
+  mm.Release(space);
+}
+
+TEST(MemoryTimeline, StopsCleanlyBeforeEngine) {
+  Engine engine(1);
+  BlockDevice storage(engine, Ufs21Profile());
+  MemoryManager mm(engine, TinyConfig(), &storage);
+  {
+    MemoryTimeline timeline(engine, mm, Ms(10));
+    engine.RunFor(Ms(50));
+  }
+  engine.RunFor(Ms(50));  // No dangling sample events.
+}
+
+}  // namespace
+}  // namespace ice

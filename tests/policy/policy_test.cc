@@ -1,0 +1,152 @@
+// Baseline policy behaviors: UCSG renicing, Acclaim's FAE, the power
+// manager's power-oriented freezing, and the scheme registry.
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.h"
+#include "src/policy/power_manager.h"
+#include "src/policy/registry.h"
+#include "src/policy/ucsg.h"
+#include "src/proc/task.h"
+
+namespace ice {
+namespace {
+
+TEST(Registry, KnowsAllSchemes) {
+  RegisterIceScheme();
+  auto& registry = SchemeRegistry::Instance();
+  for (const char* key : {"lru_cfs", "ucsg", "acclaim", "power", "ice"}) {
+    EXPECT_TRUE(registry.Contains(key)) << key;
+    auto scheme = registry.Create(key);
+    ASSERT_NE(scheme, nullptr);
+    EXPECT_FALSE(scheme->name().empty());
+  }
+  EXPECT_FALSE(registry.Contains("nope"));
+}
+
+TEST(Ucsg, ForegroundTasksBoostedBackgroundDemoted) {
+  ExperimentConfig config;
+  config.seed = 3;
+  config.scheme = "ucsg";
+  Experiment exp(config);
+  Uid a = exp.UidOf("Twitter");
+  Uid b = exp.UidOf("Amazon");
+  exp.am().Launch(a);
+  exp.AwaitInteractive(a);
+  exp.am().Launch(b);
+  exp.AwaitInteractive(b);
+
+  App* fg = exp.am().FindApp(b);
+  App* bg = exp.am().FindApp(a);
+  for (Process* p : fg->processes()) {
+    for (Task* t : p->tasks()) {
+      EXPECT_EQ(t->nice(), UcsgScheme::kForegroundNice);
+    }
+  }
+  for (Process* p : bg->processes()) {
+    for (Task* t : p->tasks()) {
+      EXPECT_EQ(t->nice(), UcsgScheme::kBackgroundNice);
+    }
+  }
+}
+
+TEST(Ucsg, SwitchingRestoresBoost) {
+  ExperimentConfig config;
+  config.seed = 3;
+  config.scheme = "ucsg";
+  Experiment exp(config);
+  Uid a = exp.UidOf("Twitter");
+  Uid b = exp.UidOf("Amazon");
+  exp.am().Launch(a);
+  exp.AwaitInteractive(a);
+  exp.am().Launch(b);
+  exp.AwaitInteractive(b);
+  exp.am().Launch(a);  // Back to a.
+  App* app_a = exp.am().FindApp(a);
+  for (Process* p : app_a->processes()) {
+    for (Task* t : p->tasks()) {
+      EXPECT_EQ(t->nice(), UcsgScheme::kForegroundNice);
+    }
+  }
+}
+
+TEST(Acclaim, ForegroundPagesNeverEvicted) {
+  ExperimentConfig config;
+  config.seed = 5;
+  config.scheme = "acclaim";
+  Experiment exp(config);
+  Uid fg = exp.UidOf("TikTok");
+  exp.CacheBackgroundApps(8, {fg});
+  ScenarioResult r = exp.RunScenario(ScenarioKind::kShortVideo, Sec(20), Sec(120));
+  EXPECT_EQ(r.refaults_fg, 0u) << "FAE must protect foreground pages";
+  AddressSpace* space = exp.am().main_space(fg);
+  EXPECT_EQ(space->total_evictions, 0u);
+}
+
+TEST(Acclaim, BaselineDoesEvictForeground) {
+  ExperimentConfig config;
+  config.seed = 5;
+  config.scheme = "lru_cfs";
+  Experiment exp(config);
+  Uid fg = exp.UidOf("TikTok");
+  exp.CacheBackgroundApps(8, {fg});
+  exp.RunScenario(ScenarioKind::kShortVideo, Sec(20), Sec(120));
+  AddressSpace* space = exp.am().main_space(fg);
+  EXPECT_GT(space->total_evictions, 0u)
+      << "under stock LRU the foreground app gets proportional pressure";
+}
+
+TEST(PowerManager, FreezesCpuHungryBgApps) {
+  ExperimentConfig config;
+  config.seed = 5;
+  config.scheme = "power";
+  Experiment exp(config);
+  Uid fg = exp.UidOf("TikTok");
+  exp.CacheBackgroundApps(6, {fg});
+  exp.am().Launch(fg);
+  exp.AwaitInteractive(fg);
+  exp.engine().RunFor(Sec(90));
+  EXPECT_GT(exp.engine().stats().Get(stat::kFreezes), 0u);
+  // Fixed-duration freezing: thaws happen too.
+  exp.engine().RunFor(Sec(60));
+  EXPECT_GT(exp.engine().stats().Get(stat::kThaws), 0u);
+}
+
+TEST(PowerManager, NoFreezingWhileCharging) {
+  PowerManagerScheme::Config pm_config;
+  pm_config.charging = true;
+  ExperimentConfig config;
+  config.seed = 5;
+  Experiment exp(config);  // Build baseline, then install power manager manually.
+  PowerManagerScheme scheme(pm_config);
+  SystemRefs refs;
+  refs.engine = &exp.engine();
+  refs.mm = &exp.mm();
+  refs.scheduler = &exp.scheduler();
+  refs.freezer = &exp.freezer();
+  refs.am = &exp.am();
+  scheme.Install(refs);
+
+  exp.CacheBackgroundApps(6);
+  exp.engine().RunFor(Sec(120));
+  EXPECT_EQ(exp.engine().stats().Get(stat::kFreezes), 0u);
+}
+
+TEST(PowerManager, NeverFreezesForegroundOrPerceptible) {
+  ExperimentConfig config;
+  config.seed = 5;
+  config.scheme = "power";
+  Experiment exp(config);
+  Uid fg = exp.UidOf("TikTok");
+  Uid music = exp.UidOf("Skype");  // Perceptible in BG.
+  exp.am().Launch(music);
+  exp.AwaitInteractive(music);
+  exp.CacheBackgroundApps(5, {fg, music});
+  exp.am().Launch(fg);
+  exp.AwaitInteractive(fg);
+  exp.engine().RunFor(Sec(120));
+  EXPECT_FALSE(exp.am().FindApp(fg)->frozen());
+  EXPECT_FALSE(exp.am().FindApp(music)->frozen());
+}
+
+}  // namespace
+}  // namespace ice

@@ -1,0 +1,161 @@
+#include "src/proc/task.h"
+
+#include <gtest/gtest.h>
+
+#include "src/proc/behavior.h"
+#include "src/proc/scheduler.h"
+
+namespace ice {
+namespace {
+
+struct IdleBehavior : Behavior {
+  void Run(TaskContext& ctx) override { ctx.SleepUntilWoken(); }
+};
+
+struct SpinBehavior : Behavior {
+  void Run(TaskContext& ctx) override {
+    while (ctx.Compute(Us(100))) {
+    }
+  }
+};
+
+class TaskTest : public ::testing::Test {
+ protected:
+  TaskTest() : mm_(engine_, MemConfig{}, nullptr), sched_(engine_, mm_, 2) {}
+
+  Engine engine_{1};
+  MemoryManager mm_;
+  Scheduler sched_;
+};
+
+TEST_F(TaskTest, NiceToWeightTable) {
+  EXPECT_EQ(NiceToWeight(0), 1024);
+  EXPECT_EQ(NiceToWeight(-20), 88761);
+  EXPECT_EQ(NiceToWeight(19), 15);
+  EXPECT_EQ(NiceToWeight(-100), 88761);  // Clamped.
+  EXPECT_EQ(NiceToWeight(100), 15);      // Clamped.
+}
+
+TEST_F(TaskTest, StartsRunnable) {
+  Task* t = sched_.CreateTask("t", nullptr, 0, std::make_unique<IdleBehavior>());
+  EXPECT_EQ(t->state(), TaskState::kRunnable);
+  EXPECT_EQ(sched_.runnable_count(), 1u);
+}
+
+TEST_F(TaskTest, IdleTaskSleepsAfterFirstQuantum) {
+  Task* t = sched_.CreateTask("t", nullptr, 0, std::make_unique<IdleBehavior>());
+  engine_.RunFor(Ms(2));
+  EXPECT_EQ(t->state(), TaskState::kSleeping);
+  EXPECT_EQ(sched_.runnable_count(), 0u);
+}
+
+TEST_F(TaskTest, WakeMakesSleepingRunnable) {
+  Task* t = sched_.CreateTask("t", nullptr, 0, std::make_unique<IdleBehavior>());
+  engine_.RunFor(Ms(2));
+  t->Wake();
+  EXPECT_EQ(t->state(), TaskState::kRunnable);
+}
+
+TEST_F(TaskTest, SleepForWakesByTimer) {
+  struct NapBehavior : Behavior {
+    void Run(TaskContext& ctx) override {
+      ++runs;
+      ctx.SleepFor(Ms(5));
+    }
+    int runs = 0;
+  };
+  auto behavior = std::make_unique<NapBehavior>();
+  NapBehavior* nap = behavior.get();
+  sched_.CreateTask("t", nullptr, 0, std::move(behavior));
+  engine_.RunFor(Ms(2));
+  EXPECT_EQ(nap->runs, 1);
+  engine_.RunFor(Ms(10));
+  EXPECT_GE(nap->runs, 2);
+}
+
+TEST_F(TaskTest, FreezeRunnableTaskImmediately) {
+  Task* t = sched_.CreateTask("t", nullptr, 0, std::make_unique<IdleBehavior>());
+  t->RequestFreeze();
+  EXPECT_TRUE(t->frozen());
+  EXPECT_EQ(sched_.runnable_count(), 0u);
+}
+
+TEST_F(TaskTest, FrozenTaskDoesNotRun) {
+  auto behavior = std::make_unique<SpinBehavior>();
+  Task* t = sched_.CreateTask("t", nullptr, 0, std::move(behavior));
+  t->RequestFreeze();
+  uint64_t cpu_before = t->cpu_time_us();
+  engine_.RunFor(Ms(10));
+  EXPECT_EQ(t->cpu_time_us(), cpu_before);
+}
+
+TEST_F(TaskTest, ThawRestoresRunnable) {
+  Task* t = sched_.CreateTask("t", nullptr, 0, std::make_unique<SpinBehavior>());
+  t->RequestFreeze();
+  t->ThawNow();
+  EXPECT_EQ(t->state(), TaskState::kRunnable);
+  engine_.RunFor(Ms(5));
+  EXPECT_GT(t->cpu_time_us(), 0u);
+}
+
+TEST_F(TaskTest, FreezeSleepingTask) {
+  Task* t = sched_.CreateTask("t", nullptr, 0, std::make_unique<IdleBehavior>());
+  engine_.RunFor(Ms(2));
+  ASSERT_EQ(t->state(), TaskState::kSleeping);
+  t->RequestFreeze();
+  EXPECT_TRUE(t->frozen());
+  // A wake while frozen is remembered but does not unfreeze.
+  t->Wake();
+  EXPECT_TRUE(t->frozen());
+  t->ThawNow();
+  EXPECT_EQ(t->state(), TaskState::kRunnable);
+}
+
+TEST_F(TaskTest, FreezeWhileOnCpuDefersToQuantumEnd) {
+  struct SelfFreezeBehavior : Behavior {
+    void Run(TaskContext& ctx) override {
+      ctx.task().RequestFreeze();  // Freeze request from "interrupt context".
+      observed_pending = ctx.task().freeze_pending();
+      ctx.Compute(Us(100));
+    }
+    bool observed_pending = false;
+  };
+  auto behavior = std::make_unique<SelfFreezeBehavior>();
+  SelfFreezeBehavior* b = behavior.get();
+  Task* t = sched_.CreateTask("t", nullptr, 0, std::move(behavior));
+  engine_.RunFor(Ms(2));
+  EXPECT_TRUE(b->observed_pending);
+  EXPECT_TRUE(t->frozen());  // Committed at quantum end.
+}
+
+TEST_F(TaskTest, DeadTaskLeavesQueues) {
+  Task* t = sched_.CreateTask("t", nullptr, 0, std::make_unique<SpinBehavior>());
+  EXPECT_EQ(sched_.live_tasks().size(), 1u);
+  t->MarkDead();
+  EXPECT_EQ(t->state(), TaskState::kDead);
+  EXPECT_EQ(sched_.runnable_count(), 0u);
+  EXPECT_TRUE(sched_.live_tasks().empty());
+  // Waking a dead task is a no-op.
+  t->Wake();
+  EXPECT_EQ(t->state(), TaskState::kDead);
+}
+
+TEST_F(TaskTest, SetNiceChangesWeight) {
+  Task* t = sched_.CreateTask("t", nullptr, 0, std::make_unique<IdleBehavior>());
+  EXPECT_EQ(t->weight(), 1024);
+  t->set_nice(-10);
+  EXPECT_EQ(t->weight(), 9548);
+}
+
+TEST_F(TaskTest, DebtAccounting) {
+  Task* t = sched_.CreateTask("t", nullptr, 0, std::make_unique<IdleBehavior>());
+  t->AddDebt(Us(2500));
+  EXPECT_EQ(t->debt_us(), Us(2500));
+  t->PayDebt(Us(1000));
+  EXPECT_EQ(t->debt_us(), Us(1500));
+  t->PayDebt(Us(5000));
+  EXPECT_EQ(t->debt_us(), 0u);
+}
+
+}  // namespace
+}  // namespace ice

@@ -1,0 +1,445 @@
+// Property-based suites: randomized operation sequences and parameterized
+// sweeps checking the invariants the simulator's correctness rests on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "src/base/rng.h"
+#include "src/ice/mapping_table.h"
+#include "src/mem/memory_manager.h"
+#include "src/proc/behavior.h"
+#include "src/proc/scheduler.h"
+#include "src/proc/task.h"
+#include "src/storage/flash_profiles.h"
+
+namespace ice {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Memory accounting invariant: under ANY random mix of touches, reclaims,
+// releases and faults, the frame ledger must balance:
+//   usable_frames == free + sum(resident) + zram_frames(stored_bytes).
+// ---------------------------------------------------------------------------
+
+class MemAccountingProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MemAccountingProperty, FrameLedgerAlwaysBalances) {
+  Engine engine(GetParam());
+  BlockDevice storage(engine, Ufs21Profile());
+  MemConfig config;
+  config.total_pages = 6000;
+  config.os_reserved_pages = 500;
+  config.wm = Watermarks::FromHigh(300);
+  config.zram.capacity_bytes = 4 * kMiB;
+  config.reclaim_contention_mean = 0;
+  MemoryManager mm(engine, config, &storage);
+
+  Rng rng(GetParam() * 31 + 7);
+  std::vector<std::unique_ptr<AddressSpace>> spaces;
+  for (int i = 0; i < 4; ++i) {
+    AddressSpaceLayout layout;
+    layout.java_pages = 300;
+    layout.native_pages = 400;
+    layout.file_pages = 500;
+    spaces.push_back(std::make_unique<AddressSpace>(i + 1, 100 + i, "app", layout));
+    mm.Register(*spaces.back());
+  }
+
+  auto check_ledger = [&](const char* when) {
+    int64_t resident = 0;
+    for (auto& s : spaces) {
+      resident += static_cast<int64_t>(s->resident());
+    }
+    int64_t usable =
+        static_cast<int64_t>(config.total_pages) - static_cast<int64_t>(config.os_reserved_pages);
+    int64_t zram_frames = static_cast<int64_t>(BytesToPages(mm.zram().stored_bytes()));
+    int64_t in_flight = static_cast<int64_t>(mm.faults_in_flight());
+    // In-flight flash faults already took a frame but are not yet resident.
+    ASSERT_EQ(mm.free_pages() + resident + zram_frames + in_flight, usable) << when;
+  };
+
+  for (int op = 0; op < 3000; ++op) {
+    AddressSpace& space = *spaces[rng.Below(4)];
+    switch (rng.Below(8)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3:
+      case 4: {  // Touch (read or write).
+        uint32_t vpn = rng.Below(static_cast<uint32_t>(space.total_pages()));
+        mm.Access(space, vpn, rng.Chance(0.3), nullptr);
+        break;
+      }
+      case 5: {  // kswapd batch.
+        mm.KswapdBatch();
+        break;
+      }
+      case 6: {  // Per-process reclaim (rarely).
+        if (rng.Chance(0.05)) {
+          mm.ReclaimAllOf(space);
+        }
+        break;
+      }
+      case 7: {  // Let I/O drain.
+        engine.RunFor(Ms(5));
+        break;
+      }
+    }
+    if (op % 250 == 0) {
+      engine.RunFor(Ms(20));  // Drain in-flight faults before the strict check.
+      check_ledger("mid-sequence");
+    }
+  }
+  engine.RunFor(Ms(100));
+  check_ledger("final");
+
+  // Release everything: all frames must come back.
+  for (auto& s : spaces) {
+    mm.Release(*s);
+  }
+  ASSERT_EQ(mm.free_pages(),
+            static_cast<int64_t>(config.total_pages - config.os_reserved_pages));
+  ASSERT_EQ(mm.zram().stored_bytes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemAccountingProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------------------
+// Page state machine: after any op sequence, every page is in a coherent
+// state w.r.t. its LRU membership and zram bookkeeping.
+// ---------------------------------------------------------------------------
+
+class PageStateProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PageStateProperty, StatesStayCoherent) {
+  Engine engine(GetParam());
+  BlockDevice storage(engine, Emmc51Profile());
+  MemConfig config;
+  config.total_pages = 3000;
+  config.os_reserved_pages = 200;
+  config.wm = Watermarks::FromHigh(200);
+  config.reclaim_contention_mean = 0;
+  MemoryManager mm(engine, config, &storage);
+
+  AddressSpaceLayout layout;
+  layout.java_pages = 400;
+  layout.native_pages = 400;
+  layout.file_pages = 800;
+  AddressSpace space(1, 1, "app", layout);
+  mm.Register(space);
+
+  Rng rng(GetParam() * 97 + 11);
+  for (int op = 0; op < 4000; ++op) {
+    uint32_t vpn = rng.Below(static_cast<uint32_t>(space.total_pages()));
+    switch (rng.Below(4)) {
+      case 0:
+      case 1:
+        mm.Access(space, vpn, rng.Chance(0.5), nullptr);
+        break;
+      case 2:
+        mm.KswapdBatch();
+        break;
+      case 3:
+        engine.RunFor(Ms(3));
+        break;
+    }
+  }
+  engine.RunFor(Ms(100));
+
+  uint64_t zram_pages = 0;
+  PageCount resident = 0, evicted = 0;
+  for (const PageInfo& p : space.pages()) {
+    switch (p.state) {
+      case PageState::kPresent:
+        EXPECT_TRUE((IntrusiveList<PageInfo, LruTag>::IsLinked(&p)));
+        EXPECT_EQ(p.zram_bytes, 0u);
+        ++resident;
+        break;
+      case PageState::kInZram:
+        EXPECT_FALSE((IntrusiveList<PageInfo, LruTag>::IsLinked(&p)));
+        EXPECT_GT(p.zram_bytes, 0u);
+        EXPECT_TRUE(IsAnon(p.kind));
+        EXPECT_GT(p.evict_cookie, 0u);
+        zram_pages += 1;
+        ++evicted;
+        break;
+      case PageState::kOnFlash:
+        EXPECT_FALSE((IntrusiveList<PageInfo, LruTag>::IsLinked(&p)));
+        EXPECT_EQ(p.kind, HeapKind::kFile);
+        EXPECT_EQ(p.zram_bytes, 0u);
+        EXPECT_GT(p.evict_cookie, 0u);
+        ++evicted;
+        break;
+      case PageState::kUntouched:
+        EXPECT_FALSE((IntrusiveList<PageInfo, LruTag>::IsLinked(&p)));
+        EXPECT_EQ(p.evict_cookie, 0u);
+        break;
+      case PageState::kFaultingIn:
+        ADD_FAILURE() << "fault still in flight after drain";
+        break;
+    }
+  }
+  EXPECT_EQ(space.resident(), resident);
+  EXPECT_EQ(space.evicted(), evicted);
+  EXPECT_EQ(mm.zram().stored_pages(), zram_pages);
+  mm.Release(space);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageStateProperty, ::testing::Values(4, 9, 16, 25, 36, 49));
+
+// ---------------------------------------------------------------------------
+// LRU size conservation under random churn.
+// ---------------------------------------------------------------------------
+
+class LruProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LruProperty, SizesConserveAndNoDoubleLinks) {
+  AddressSpaceLayout layout;
+  layout.java_pages = 64;
+  layout.native_pages = 64;
+  layout.file_pages = 128;
+  AddressSpace space(1, 1, "app", layout);
+  LruLists lru;
+  Rng rng(GetParam());
+
+  std::vector<bool> linked(space.total_pages(), false);
+  size_t expected = 0;
+  for (int op = 0; op < 5000; ++op) {
+    uint32_t vpn = rng.Below(static_cast<uint32_t>(space.total_pages()));
+    PageInfo* page = &space.page(vpn);
+    switch (rng.Below(5)) {
+      case 0:
+        if (!linked[vpn]) {
+          lru.Insert(page);
+          linked[vpn] = true;
+          ++expected;
+        }
+        break;
+      case 1:
+        if (linked[vpn]) {
+          lru.Remove(page);
+          linked[vpn] = false;
+          --expected;
+        }
+        break;
+      case 2:
+        lru.Touch(page);  // Safe on unlinked pages too.
+        break;
+      case 3:
+        lru.Balance(LruPool::kAnon);
+        lru.Balance(LruPool::kFile);
+        break;
+      case 4: {
+        auto victims = lru.IsolateCandidates(rng.Chance(0.5) ? LruPool::kAnon : LruPool::kFile,
+                                             4, 16, nullptr);
+        for (PageInfo* v : victims) {
+          linked[v->vpn] = false;
+          --expected;
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(lru.total_size(), expected);
+  }
+  // Cleanup.
+  for (uint32_t vpn = 0; vpn < space.total_pages(); ++vpn) {
+    if (linked[vpn]) {
+      lru.Remove(&space.page(vpn));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LruProperty, ::testing::Values(11, 22, 33, 44, 55));
+
+// ---------------------------------------------------------------------------
+// Scheduler fairness sweep: N equal spinners share the cores near-equally
+// for any N.
+// ---------------------------------------------------------------------------
+
+struct SpinBehavior : Behavior {
+  void Run(TaskContext& ctx) override {
+    while (ctx.Compute(Us(100))) {
+    }
+  }
+};
+
+class FairnessProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FairnessProperty, EqualWeightsShareEqually) {
+  int n = GetParam();
+  Engine engine(42);
+  MemoryManager mm(engine, MemConfig{}, nullptr);
+  Scheduler sched(engine, mm, 4);
+  std::vector<Task*> tasks;
+  for (int i = 0; i < n; ++i) {
+    tasks.push_back(sched.CreateTask("spin" + std::to_string(i), nullptr, 0,
+                                     std::make_unique<SpinBehavior>()));
+  }
+  engine.RunFor(Sec(2));
+  double expected = std::min(1.0, 4.0 / n) * Sec(2);
+  for (Task* t : tasks) {
+    EXPECT_NEAR(static_cast<double>(t->cpu_time_us()), expected, expected * 0.15)
+        << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TaskCounts, FairnessProperty, ::testing::Values(1, 2, 4, 5, 8, 16));
+
+// ---------------------------------------------------------------------------
+// Task state machine fuzz: random freeze/thaw/wake/sleep sequences never
+// corrupt state or crash, and thaw always restores runnability.
+// ---------------------------------------------------------------------------
+
+class TaskFuzzProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TaskFuzzProperty, RandomLifecycleSequencesStaySane) {
+  Engine engine(GetParam());
+  MemoryManager mm(engine, MemConfig{}, nullptr);
+  Scheduler sched(engine, mm, 2);
+  struct NapBehavior : Behavior {
+    void Run(TaskContext& ctx) override {
+      ctx.Compute(Us(50));
+      ctx.SleepFor(Ms(2));
+    }
+  };
+  std::vector<Task*> tasks;
+  for (int i = 0; i < 6; ++i) {
+    tasks.push_back(
+        sched.CreateTask("t" + std::to_string(i), nullptr, 0, std::make_unique<NapBehavior>()));
+  }
+  Rng rng(GetParam() * 13 + 1);
+  for (int op = 0; op < 2000; ++op) {
+    Task* t = tasks[rng.Below(6)];
+    switch (rng.Below(4)) {
+      case 0:
+        t->RequestFreeze();
+        break;
+      case 1:
+        t->ThawNow();
+        break;
+      case 2:
+        t->Wake();
+        break;
+      case 3:
+        engine.RunFor(Ms(1));
+        break;
+    }
+    ASSERT_NE(t->state(), TaskState::kDead);
+  }
+  // Thaw everything: all tasks must be schedulable again.
+  for (Task* t : tasks) {
+    t->ThawNow();
+    t->Wake();
+  }
+  engine.RunFor(Ms(50));
+  for (Task* t : tasks) {
+    EXPECT_NE(t->state(), TaskState::kFrozen);
+    EXPECT_GT(t->cpu_time_us(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TaskFuzzProperty, ::testing::Values(3, 7, 31, 127));
+
+// ---------------------------------------------------------------------------
+// Mapping table fuzz vs a std::map reference model.
+// ---------------------------------------------------------------------------
+
+class MappingTableFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MappingTableFuzz, MatchesReferenceModel) {
+  MappingTable table;
+  std::map<Uid, std::map<Pid, int>> model;
+  Rng rng(GetParam() * 53 + 17);
+
+  for (int op = 0; op < 5000; ++op) {
+    Uid uid = 10000 + static_cast<Uid>(rng.Below(30));
+    Pid pid = 100 + static_cast<Pid>(rng.Below(90));
+    switch (rng.Below(5)) {
+      case 0:
+        if (table.AddApp(uid)) {
+          model.emplace(uid, std::map<Pid, int>{});
+        }
+        break;
+      case 1: {
+        // Real pids are globally unique: never add a pid that is already
+        // registered under a different uid.
+        bool pid_elsewhere = false;
+        for (const auto& [u, procs] : model) {
+          if (u != uid && procs.count(pid)) {
+            pid_elsewhere = true;
+            break;
+          }
+        }
+        if (!pid_elsewhere && table.AddProcess(uid, pid, 900)) {
+          model[uid][pid] = 900;
+        }
+        break;
+      }
+      case 2:
+        if (table.RemoveProcess(uid, pid)) {
+          model[uid].erase(pid);
+        }
+        break;
+      case 3:
+        if (table.RemoveApp(uid)) {
+          model.erase(uid);
+        }
+        break;
+      case 4: {
+        Uid expected = kInvalidUid;
+        for (const auto& [u, procs] : model) {
+          if (procs.count(pid)) {
+            expected = u;
+            break;
+          }
+        }
+        ASSERT_EQ(table.UidOfPid(pid), expected);
+        break;
+      }
+    }
+    ASSERT_EQ(table.app_count(), model.size());
+    ASSERT_LE(table.MemoryFootprintBytes(), MappingTable::kUpperBoundBytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MappingTableFuzz, ::testing::Values(2, 4, 6, 8));
+
+// ---------------------------------------------------------------------------
+// Determinism: identical seeds give identical end-to-end results.
+// ---------------------------------------------------------------------------
+
+TEST(Determinism, SameSeedSameTrajectory) {
+  auto run = [](uint64_t seed) {
+    Engine engine(seed);
+    BlockDevice storage(engine, Ufs21Profile());
+    MemConfig config;
+    config.total_pages = 4000;
+    config.os_reserved_pages = 300;
+    config.wm = Watermarks::FromHigh(200);
+    MemoryManager mm(engine, config, &storage);
+    AddressSpaceLayout layout;
+    layout.java_pages = 500;
+    layout.native_pages = 500;
+    layout.file_pages = 1000;
+    AddressSpace space(1, 1, "app", layout);
+    mm.Register(space);
+    Rng rng(seed + 1);
+    for (int i = 0; i < 5000; ++i) {
+      mm.Access(space, rng.Below(2000), rng.Chance(0.3), nullptr);
+      if (i % 50 == 0) {
+        mm.KswapdBatch();
+        engine.RunFor(Ms(1));
+      }
+    }
+    auto snapshot = engine.stats().Snapshot();
+    mm.Release(space);
+    return snapshot;
+  };
+  EXPECT_EQ(run(12345), run(12345));
+  EXPECT_NE(run(12345), run(54321));
+}
+
+}  // namespace
+}  // namespace ice

@@ -1,0 +1,133 @@
+#include "src/sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ice {
+namespace {
+
+class CountingTicker : public Ticker {
+ public:
+  void Tick(SimTime now) override {
+    ++ticks;
+    last = now;
+  }
+  int ticks = 0;
+  SimTime last = 0;
+};
+
+TEST(Engine, TimeAdvancesByTicks) {
+  Engine engine(1);
+  engine.RunFor(Ms(10));
+  EXPECT_EQ(engine.now(), Ms(10));
+  EXPECT_EQ(engine.ticks_elapsed(), 10u);
+}
+
+TEST(Engine, TickersCalledOncePerTick) {
+  Engine engine(1);
+  CountingTicker t;
+  engine.AddTicker(&t);
+  engine.RunFor(Ms(5));
+  EXPECT_EQ(t.ticks, 5);
+  engine.RemoveTicker(&t);
+  engine.RunFor(Ms(5));
+  EXPECT_EQ(t.ticks, 5);
+}
+
+TEST(Engine, EventsFireAtScheduledTime) {
+  Engine engine(1);
+  SimTime fired = 0;
+  engine.ScheduleAt(Us(2500), [&] { fired = engine.now(); });
+  engine.RunFor(Ms(5));
+  // Events run at the first tick boundary at/after their time.
+  EXPECT_GE(fired, Us(2500));
+  EXPECT_LE(fired, Us(3000));
+}
+
+TEST(Engine, ScheduleAfterUsesNow) {
+  Engine engine(1);
+  engine.RunFor(Ms(3));
+  bool fired = false;
+  engine.ScheduleAfter(Ms(2), [&] { fired = true; });
+  engine.RunFor(Ms(1));
+  EXPECT_FALSE(fired);
+  engine.RunFor(Ms(2));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, CancelWorks) {
+  Engine engine(1);
+  bool fired = false;
+  EventId id = engine.ScheduleAfter(Ms(1), [&] { fired = true; });
+  EXPECT_TRUE(engine.Cancel(id));
+  engine.RunFor(Ms(5));
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, TickerAddedDuringTickStartsNextTick) {
+  Engine engine(1);
+  CountingTicker inner;
+  class Adder : public Ticker {
+   public:
+    Adder(Engine& e, CountingTicker& t) : engine_(e), ticker_(t) {}
+    void Tick(SimTime) override {
+      if (!added_) {
+        added_ = true;
+        engine_.AddTicker(&ticker_);
+      }
+    }
+    Engine& engine_;
+    CountingTicker& ticker_;
+    bool added_ = false;
+  } adder(engine, inner);
+  engine.AddTicker(&adder);
+  engine.RunFor(Ms(3));
+  EXPECT_EQ(inner.ticks, 2);  // Missed the tick it was added in.
+  engine.RemoveTicker(&adder);
+  engine.RemoveTicker(&inner);
+}
+
+TEST(Engine, RemoveTickerDuringTickIsSafe) {
+  Engine engine(1);
+  CountingTicker other;
+  class SelfRemover : public Ticker {
+   public:
+    SelfRemover(Engine& e) : engine_(e) {}
+    void Tick(SimTime) override {
+      ++ticks;
+      engine_.RemoveTicker(this);
+    }
+    Engine& engine_;
+    int ticks = 0;
+  } remover(engine);
+  engine.AddTicker(&remover);
+  engine.AddTicker(&other);
+  engine.RunFor(Ms(3));
+  EXPECT_EQ(remover.ticks, 1);
+  EXPECT_EQ(other.ticks, 3);  // Unaffected by the removal.
+  engine.RemoveTicker(&other);
+}
+
+TEST(Engine, StatsAndRngAccessible) {
+  Engine engine(99);
+  engine.stats().Increment("test.counter");
+  EXPECT_EQ(engine.stats().Get("test.counter"), 1u);
+  (void)engine.rng().Next();
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run = [](uint64_t seed) {
+    Engine engine(seed);
+    std::vector<uint32_t> vals;
+    for (int i = 0; i < 10; ++i) {
+      vals.push_back(engine.rng().Next());
+    }
+    return vals;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+}  // namespace
+}  // namespace ice

@@ -1,0 +1,91 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ice {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(30, [&] { order.push_back(3); });
+  q.Schedule(10, [&] { order.push_back(1); });
+  q.Schedule(20, [&] { order.push_back(2); });
+  q.RunDue(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesBreakFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(10, [&] { order.push_back(1); });
+  q.Schedule(10, [&] { order.push_back(2); });
+  q.Schedule(10, [&] { order.push_back(3); });
+  q.RunDue(10);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, OnlyDueEventsRun) {
+  EventQueue q;
+  int ran = 0;
+  q.Schedule(10, [&] { ++ran; });
+  q.Schedule(20, [&] { ++ran; });
+  q.RunDue(15);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.NextTime(), 20u);
+}
+
+TEST(EventQueue, EventsScheduledDuringDispatchRun) {
+  EventQueue q;
+  int ran = 0;
+  q.Schedule(10, [&] {
+    q.Schedule(10, [&] { ++ran; });  // Same-time chain.
+  });
+  q.RunDue(10);
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  int ran = 0;
+  EventId id = q.Schedule(10, [&] { ++ran; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_TRUE(q.empty());
+  q.RunDue(100);
+  EXPECT_EQ(ran, 0);
+}
+
+TEST(EventQueue, DoubleCancelFails) {
+  EventQueue q;
+  EventId id = q.Schedule(10, [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(kInvalidEventId));
+  EXPECT_FALSE(q.Cancel(9999));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  EventId early = q.Schedule(10, [] {});
+  q.Schedule(20, [] {});
+  q.Cancel(early);
+  EXPECT_EQ(q.NextTime(), 20u);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  EventId a = q.Schedule(10, [] {});
+  q.Schedule(20, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.Cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.RunDue(100);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ice

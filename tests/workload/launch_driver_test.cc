@@ -1,0 +1,48 @@
+// Pure-unit coverage of LaunchDriverResult aggregation math.
+#include "src/workload/launch_driver.h"
+
+#include <gtest/gtest.h>
+
+namespace ice {
+namespace {
+
+LaunchRecord Rec(bool cold, SimDuration latency, bool completed = true) {
+  LaunchRecord r;
+  r.cold = cold;
+  r.latency = latency;
+  r.completed = completed;
+  return r;
+}
+
+TEST(LaunchDriverResult, EmptyIsZero) {
+  LaunchDriverResult r;
+  EXPECT_EQ(r.MeanLatencyMs(), 0.0);
+  EXPECT_EQ(r.MeanColdMs(), 0.0);
+  EXPECT_EQ(r.MeanHotMs(), 0.0);
+  EXPECT_EQ(r.TotalHot(), 0);
+}
+
+TEST(LaunchDriverResult, SplitsColdAndHot) {
+  LaunchDriverResult r;
+  r.records = {Rec(true, Ms(4000)), Rec(true, Ms(2000)), Rec(false, Ms(400)),
+               Rec(false, Ms(200))};
+  EXPECT_DOUBLE_EQ(r.MeanColdMs(), 3000.0);
+  EXPECT_DOUBLE_EQ(r.MeanHotMs(), 300.0);
+  EXPECT_DOUBLE_EQ(r.MeanLatencyMs(), (4000 + 2000 + 400 + 200) / 4.0);
+}
+
+TEST(LaunchDriverResult, IgnoresIncomplete) {
+  LaunchDriverResult r;
+  r.records = {Rec(true, Ms(4000)), Rec(true, Ms(999999), /*completed=*/false)};
+  EXPECT_DOUBLE_EQ(r.MeanColdMs(), 4000.0);
+  EXPECT_DOUBLE_EQ(r.MeanLatencyMs(), 4000.0);
+}
+
+TEST(LaunchDriverResult, TotalHotSumsRounds) {
+  LaunchDriverResult r;
+  r.hot_per_round = {7, 8, 8};
+  EXPECT_EQ(r.TotalHot(), 23);
+}
+
+}  // namespace
+}  // namespace ice

@@ -1,0 +1,104 @@
+#include "src/workload/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.h"
+
+namespace ice {
+namespace {
+
+class ScenarioTest : public ::testing::Test {
+ protected:
+  ScenarioTest() {
+    ExperimentConfig config;
+    config.seed = 3;
+    exp_ = std::make_unique<Experiment>(config);
+  }
+
+  std::unique_ptr<Experiment> exp_;
+};
+
+TEST_F(ScenarioTest, NamesAndLabels) {
+  EXPECT_STREQ(ScenarioLabel(ScenarioKind::kVideoCall), "S-A");
+  EXPECT_STREQ(ScenarioLabel(ScenarioKind::kShortVideo), "S-B");
+  EXPECT_STREQ(ScenarioLabel(ScenarioKind::kScrolling), "S-C");
+  EXPECT_STREQ(ScenarioLabel(ScenarioKind::kGame), "S-D");
+  EXPECT_STREQ(ScenarioPackage(ScenarioKind::kVideoCall), "WhatsApp");
+  EXPECT_STREQ(ScenarioPackage(ScenarioKind::kShortVideo), "TikTok");
+  EXPECT_STREQ(ScenarioPackage(ScenarioKind::kScrolling), "Facebook");
+  EXPECT_STREQ(ScenarioPackage(ScenarioKind::kGame), "PUBGMobile");
+}
+
+TEST_F(ScenarioTest, ProducesFramesWithWork) {
+  Uid uid = exp_->UidOf("TikTok");
+  exp_->am().Launch(uid);
+  exp_->AwaitInteractive(uid);
+  Scenario scenario(exp_->am(), uid, ScenarioKind::kShortVideo, Rng(7));
+  auto frame = scenario.NextFrame(exp_->engine().now());
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_GT(frame->compute_us, Ms(1));
+  EXPECT_GT(frame->vpns.size(), 100u);
+  EXPECT_EQ(frame->space, exp_->am().main_space(uid));
+}
+
+TEST_F(ScenarioTest, TouchesStayInBounds) {
+  Uid uid = exp_->UidOf("PUBGMobile");
+  exp_->am().Launch(uid);
+  exp_->AwaitInteractive(uid);
+  Scenario scenario(exp_->am(), uid, ScenarioKind::kGame, Rng(7));
+  AddressSpace* space = exp_->am().main_space(uid);
+  for (int i = 0; i < 300; ++i) {
+    auto frame = scenario.NextFrame(exp_->engine().now() + i * kVsyncPeriod);
+    ASSERT_TRUE(frame.has_value());
+    for (uint32_t vpn : frame->vpns) {
+      ASSERT_LT(vpn, space->total_pages());
+    }
+  }
+}
+
+TEST_F(ScenarioTest, GameRoundsAllocateInWaves) {
+  Uid uid = exp_->UidOf("PUBGMobile");
+  exp_->am().Launch(uid);
+  exp_->AwaitInteractive(uid);
+  Scenario scenario(exp_->am(), uid, ScenarioKind::kGame, Rng(7));
+  ScenarioParams params = ParamsFor(ScenarioKind::kGame);
+  ASSERT_GT(params.round_period, 0u);
+  // Count vpns per frame across a simulated round boundary.
+  SimTime t0 = exp_->engine().now();
+  size_t baseline = scenario.NextFrame(t0)->vpns.size();
+  size_t at_round = scenario.NextFrame(t0 + params.round_period + kVsyncPeriod)->vpns.size();
+  EXPECT_GT(at_round, baseline + 300);
+}
+
+TEST_F(ScenarioTest, ShortVideoBurstsAddColdPages) {
+  Uid uid = exp_->UidOf("TikTok");
+  exp_->am().Launch(uid);
+  exp_->AwaitInteractive(uid);
+  Scenario scenario(exp_->am(), uid, ScenarioKind::kShortVideo, Rng(7));
+  ScenarioParams params = ParamsFor(ScenarioKind::kShortVideo);
+  SimTime t0 = exp_->engine().now();
+  size_t normal = scenario.NextFrame(t0)->vpns.size();
+  size_t burst = scenario.NextFrame(t0 + params.burst_period + kVsyncPeriod)->vpns.size();
+  EXPECT_GT(burst, normal);
+}
+
+TEST_F(ScenarioTest, DeadAppYieldsNoFrames) {
+  Uid uid = exp_->UidOf("TikTok");
+  exp_->am().Launch(uid);
+  exp_->AwaitInteractive(uid);
+  Scenario scenario(exp_->am(), uid, ScenarioKind::kShortVideo, Rng(7));
+  App* app = exp_->am().FindApp(uid);
+  exp_->am().KillApp(*app);
+  EXPECT_FALSE(scenario.NextFrame(exp_->engine().now()).has_value());
+}
+
+TEST_F(ScenarioTest, AllScenariosHaveDistinctParams) {
+  ScenarioParams a = ParamsFor(ScenarioKind::kVideoCall);
+  ScenarioParams d = ParamsFor(ScenarioKind::kGame);
+  EXPECT_NE(a.frame_touches, d.frame_touches);
+  EXPECT_EQ(d.round_alloc_pages, BytesToPages(110 * kMiB));  // §6.2.1: 100 MB+.
+  EXPECT_EQ(a.round_period, 0u);
+}
+
+}  // namespace
+}  // namespace ice

@@ -1,0 +1,74 @@
+#include "src/workload/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.h"
+
+namespace ice {
+namespace {
+
+TEST(Memtester, OccupiesConfiguredMemory) {
+  ExperimentConfig config;
+  config.seed = 3;
+  Experiment exp(config);
+  int64_t free_before = exp.mm().free_pages();
+  Uid uid = InstallMemtester(exp.am(), 512 * kMiB);
+  exp.engine().RunFor(Sec(30));
+  AddressSpace* space = exp.am().main_space(uid);
+  ASSERT_NE(space, nullptr);
+  EXPECT_GT(space->resident(), BytesToPages(480 * kMiB));
+  EXPECT_LT(exp.mm().free_pages(), free_before - static_cast<int64_t>(BytesToPages(400 * kMiB)));
+}
+
+TEST(Memtester, ConsumesLittleCpu) {
+  ExperimentConfig config;
+  config.seed = 3;
+  Experiment exp(config);
+  Uid uid = InstallMemtester(exp.am(), 256 * kMiB);
+  exp.engine().RunFor(Sec(20));
+  App* app = exp.am().FindApp(uid);
+  // Page-touch cost only; well under 5 % of one core over the window.
+  EXPECT_LT(app->cpu_time_us, Sec(1));
+}
+
+TEST(Memtester, NeverRefaultsOnItsOwn) {
+  ExperimentConfig config;
+  config.seed = 3;
+  Experiment exp(config);
+  InstallMemtester(exp.am(), 256 * kMiB);
+  exp.engine().RunFor(Sec(20));
+  uint64_t refaults_before = exp.engine().stats().Get(stat::kRefaults);
+  exp.engine().RunFor(Sec(20));
+  EXPECT_EQ(exp.engine().stats().Get(stat::kRefaults), refaults_before);
+}
+
+TEST(Cputester, HitsTargetUtilization) {
+  ExperimentConfig config;
+  config.seed = 3;
+  // Bare device: no services so the measurement isolates the cputester.
+  config.services.service_tasks = 0;
+  Experiment exp(config);
+  double base = exp.scheduler().utilization();
+  (void)base;
+  uint64_t busy_before = exp.scheduler().busy_us();
+  uint64_t cap_before = exp.scheduler().capacity_us();
+  InstallCputester(exp.am(), 0.20, exp.config().device.num_cores);
+  exp.engine().RunFor(Sec(20));
+  double util = static_cast<double>(exp.scheduler().busy_us() - busy_before) /
+                (exp.scheduler().capacity_us() - cap_before);
+  // The paper's cputester occupies ~20 % CPU.
+  EXPECT_NEAR(util, 0.20, 0.05);
+}
+
+TEST(Cputester, TinyMemoryFootprint) {
+  ExperimentConfig config;
+  config.seed = 3;
+  Experiment exp(config);
+  Uid uid = InstallCputester(exp.am(), 0.20, 8);
+  exp.engine().RunFor(Sec(5));
+  AddressSpace* space = exp.am().main_space(uid);
+  EXPECT_LT(space->resident(), BytesToPages(16 * kMiB));
+}
+
+}  // namespace
+}  // namespace ice
