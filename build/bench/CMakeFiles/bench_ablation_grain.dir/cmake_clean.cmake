@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_grain.dir/ablation_grain.cc.o"
+  "CMakeFiles/bench_ablation_grain.dir/ablation_grain.cc.o.d"
+  "bench_ablation_grain"
+  "bench_ablation_grain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_grain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

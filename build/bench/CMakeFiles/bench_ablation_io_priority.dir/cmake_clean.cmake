@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_io_priority.dir/ablation_io_priority.cc.o"
+  "CMakeFiles/bench_ablation_io_priority.dir/ablation_io_priority.cc.o.d"
+  "bench_ablation_io_priority"
+  "bench_ablation_io_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_io_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mdt.dir/ablation_mdt.cc.o"
+  "CMakeFiles/bench_ablation_mdt.dir/ablation_mdt.cc.o.d"
+  "bench_ablation_mdt"
+  "bench_ablation_mdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

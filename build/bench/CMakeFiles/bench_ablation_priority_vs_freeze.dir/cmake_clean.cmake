@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_priority_vs_freeze.dir/ablation_priority_vs_freeze.cc.o"
+  "CMakeFiles/bench_ablation_priority_vs_freeze.dir/ablation_priority_vs_freeze.cc.o.d"
+  "bench_ablation_priority_vs_freeze"
+  "bench_ablation_priority_vs_freeze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_priority_vs_freeze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

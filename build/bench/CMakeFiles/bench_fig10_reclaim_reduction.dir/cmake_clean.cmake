@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_reclaim_reduction.dir/fig10_reclaim_reduction.cc.o"
+  "CMakeFiles/bench_fig10_reclaim_reduction.dir/fig10_reclaim_reduction.cc.o.d"
+  "bench_fig10_reclaim_reduction"
+  "bench_fig10_reclaim_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_reclaim_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

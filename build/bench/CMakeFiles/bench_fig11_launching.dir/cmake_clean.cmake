@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_launching.dir/fig11_launching.cc.o"
+  "CMakeFiles/bench_fig11_launching.dir/fig11_launching.cc.o.d"
+  "bench_fig11_launching"
+  "bench_fig11_launching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_launching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

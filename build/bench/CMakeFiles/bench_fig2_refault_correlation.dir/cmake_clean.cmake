@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_refault_correlation.dir/fig2_refault_correlation.cc.o"
+  "CMakeFiles/bench_fig2_refault_correlation.dir/fig2_refault_correlation.cc.o.d"
+  "bench_fig2_refault_correlation"
+  "bench_fig2_refault_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_refault_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

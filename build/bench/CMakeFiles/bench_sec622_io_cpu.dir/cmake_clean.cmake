@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec622_io_cpu.dir/sec622_io_cpu.cc.o"
+  "CMakeFiles/bench_sec622_io_cpu.dir/sec622_io_cpu.cc.o.d"
+  "bench_sec622_io_cpu"
+  "bench_sec622_io_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec622_io_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

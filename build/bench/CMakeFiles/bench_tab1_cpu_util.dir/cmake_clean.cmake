@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_cpu_util.dir/tab1_cpu_util.cc.o"
+  "CMakeFiles/bench_tab1_cpu_util.dir/tab1_cpu_util.cc.o.d"
+  "bench_tab1_cpu_util"
+  "bench_tab1_cpu_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_cpu_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

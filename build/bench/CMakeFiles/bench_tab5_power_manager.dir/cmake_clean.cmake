@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab5_power_manager.dir/tab5_power_manager.cc.o"
+  "CMakeFiles/bench_tab5_power_manager.dir/tab5_power_manager.cc.o.d"
+  "bench_tab5_power_manager"
+  "bench_tab5_power_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab5_power_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

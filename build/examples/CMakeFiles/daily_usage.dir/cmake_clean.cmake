@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daily_usage.dir/daily_usage.cc.o"
+  "CMakeFiles/daily_usage.dir/daily_usage.cc.o.d"
+  "daily_usage"
+  "daily_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daily_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

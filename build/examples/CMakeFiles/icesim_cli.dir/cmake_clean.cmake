@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icesim_cli.dir/icesim_cli.cc.o"
+  "CMakeFiles/icesim_cli.dir/icesim_cli.cc.o.d"
+  "icesim_cli"
+  "icesim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icesim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_call_study.dir/video_call_study.cc.o"
+  "CMakeFiles/video_call_study.dir/video_call_study.cc.o.d"
+  "video_call_study"
+  "video_call_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_call_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

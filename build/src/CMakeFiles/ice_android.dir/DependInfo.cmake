@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/android/activity_manager.cc" "src/CMakeFiles/ice_android.dir/android/activity_manager.cc.o" "gcc" "src/CMakeFiles/ice_android.dir/android/activity_manager.cc.o.d"
+  "/root/repo/src/android/choreographer.cc" "src/CMakeFiles/ice_android.dir/android/choreographer.cc.o" "gcc" "src/CMakeFiles/ice_android.dir/android/choreographer.cc.o.d"
+  "/root/repo/src/android/device_profile.cc" "src/CMakeFiles/ice_android.dir/android/device_profile.cc.o" "gcc" "src/CMakeFiles/ice_android.dir/android/device_profile.cc.o.d"
+  "/root/repo/src/android/system_services.cc" "src/CMakeFiles/ice_android.dir/android/system_services.cc.o" "gcc" "src/CMakeFiles/ice_android.dir/android/system_services.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ice_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

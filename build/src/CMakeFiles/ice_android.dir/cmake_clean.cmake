@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ice_android.dir/android/activity_manager.cc.o"
+  "CMakeFiles/ice_android.dir/android/activity_manager.cc.o.d"
+  "CMakeFiles/ice_android.dir/android/choreographer.cc.o"
+  "CMakeFiles/ice_android.dir/android/choreographer.cc.o.d"
+  "CMakeFiles/ice_android.dir/android/device_profile.cc.o"
+  "CMakeFiles/ice_android.dir/android/device_profile.cc.o.d"
+  "CMakeFiles/ice_android.dir/android/system_services.cc.o"
+  "CMakeFiles/ice_android.dir/android/system_services.cc.o.d"
+  "libice_android.a"
+  "libice_android.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ice_android.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

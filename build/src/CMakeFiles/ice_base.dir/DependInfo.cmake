@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/histogram.cc" "src/CMakeFiles/ice_base.dir/base/histogram.cc.o" "gcc" "src/CMakeFiles/ice_base.dir/base/histogram.cc.o.d"
+  "/root/repo/src/base/log.cc" "src/CMakeFiles/ice_base.dir/base/log.cc.o" "gcc" "src/CMakeFiles/ice_base.dir/base/log.cc.o.d"
+  "/root/repo/src/base/rng.cc" "src/CMakeFiles/ice_base.dir/base/rng.cc.o" "gcc" "src/CMakeFiles/ice_base.dir/base/rng.cc.o.d"
+  "/root/repo/src/base/stats.cc" "src/CMakeFiles/ice_base.dir/base/stats.cc.o" "gcc" "src/CMakeFiles/ice_base.dir/base/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

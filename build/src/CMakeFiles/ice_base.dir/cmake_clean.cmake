@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ice_base.dir/base/histogram.cc.o"
+  "CMakeFiles/ice_base.dir/base/histogram.cc.o.d"
+  "CMakeFiles/ice_base.dir/base/log.cc.o"
+  "CMakeFiles/ice_base.dir/base/log.cc.o.d"
+  "CMakeFiles/ice_base.dir/base/rng.cc.o"
+  "CMakeFiles/ice_base.dir/base/rng.cc.o.d"
+  "CMakeFiles/ice_base.dir/base/stats.cc.o"
+  "CMakeFiles/ice_base.dir/base/stats.cc.o.d"
+  "libice_base.a"
+  "libice_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ice_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

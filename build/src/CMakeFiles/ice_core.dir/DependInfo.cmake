@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ice/daemon.cc" "src/CMakeFiles/ice_core.dir/ice/daemon.cc.o" "gcc" "src/CMakeFiles/ice_core.dir/ice/daemon.cc.o.d"
+  "/root/repo/src/ice/mapping_table.cc" "src/CMakeFiles/ice_core.dir/ice/mapping_table.cc.o" "gcc" "src/CMakeFiles/ice_core.dir/ice/mapping_table.cc.o.d"
+  "/root/repo/src/ice/mdt.cc" "src/CMakeFiles/ice_core.dir/ice/mdt.cc.o" "gcc" "src/CMakeFiles/ice_core.dir/ice/mdt.cc.o.d"
+  "/root/repo/src/ice/predictor.cc" "src/CMakeFiles/ice_core.dir/ice/predictor.cc.o" "gcc" "src/CMakeFiles/ice_core.dir/ice/predictor.cc.o.d"
+  "/root/repo/src/ice/procfs.cc" "src/CMakeFiles/ice_core.dir/ice/procfs.cc.o" "gcc" "src/CMakeFiles/ice_core.dir/ice/procfs.cc.o.d"
+  "/root/repo/src/ice/rpf.cc" "src/CMakeFiles/ice_core.dir/ice/rpf.cc.o" "gcc" "src/CMakeFiles/ice_core.dir/ice/rpf.cc.o.d"
+  "/root/repo/src/ice/whitelist.cc" "src/CMakeFiles/ice_core.dir/ice/whitelist.cc.o" "gcc" "src/CMakeFiles/ice_core.dir/ice/whitelist.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ice_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ice_core.dir/ice/daemon.cc.o"
+  "CMakeFiles/ice_core.dir/ice/daemon.cc.o.d"
+  "CMakeFiles/ice_core.dir/ice/mapping_table.cc.o"
+  "CMakeFiles/ice_core.dir/ice/mapping_table.cc.o.d"
+  "CMakeFiles/ice_core.dir/ice/mdt.cc.o"
+  "CMakeFiles/ice_core.dir/ice/mdt.cc.o.d"
+  "CMakeFiles/ice_core.dir/ice/predictor.cc.o"
+  "CMakeFiles/ice_core.dir/ice/predictor.cc.o.d"
+  "CMakeFiles/ice_core.dir/ice/procfs.cc.o"
+  "CMakeFiles/ice_core.dir/ice/procfs.cc.o.d"
+  "CMakeFiles/ice_core.dir/ice/rpf.cc.o"
+  "CMakeFiles/ice_core.dir/ice/rpf.cc.o.d"
+  "CMakeFiles/ice_core.dir/ice/whitelist.cc.o"
+  "CMakeFiles/ice_core.dir/ice/whitelist.cc.o.d"
+  "libice_core.a"
+  "libice_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ice_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

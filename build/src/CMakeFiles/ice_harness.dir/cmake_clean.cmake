@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ice_harness.dir/harness/experiment.cc.o"
+  "CMakeFiles/ice_harness.dir/harness/experiment.cc.o.d"
+  "libice_harness.a"
+  "libice_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ice_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_space.cc" "src/CMakeFiles/ice_mem.dir/mem/address_space.cc.o" "gcc" "src/CMakeFiles/ice_mem.dir/mem/address_space.cc.o.d"
+  "/root/repo/src/mem/lru.cc" "src/CMakeFiles/ice_mem.dir/mem/lru.cc.o" "gcc" "src/CMakeFiles/ice_mem.dir/mem/lru.cc.o.d"
+  "/root/repo/src/mem/memory_manager.cc" "src/CMakeFiles/ice_mem.dir/mem/memory_manager.cc.o" "gcc" "src/CMakeFiles/ice_mem.dir/mem/memory_manager.cc.o.d"
+  "/root/repo/src/mem/reclaim.cc" "src/CMakeFiles/ice_mem.dir/mem/reclaim.cc.o" "gcc" "src/CMakeFiles/ice_mem.dir/mem/reclaim.cc.o.d"
+  "/root/repo/src/mem/shadow.cc" "src/CMakeFiles/ice_mem.dir/mem/shadow.cc.o" "gcc" "src/CMakeFiles/ice_mem.dir/mem/shadow.cc.o.d"
+  "/root/repo/src/mem/watermark.cc" "src/CMakeFiles/ice_mem.dir/mem/watermark.cc.o" "gcc" "src/CMakeFiles/ice_mem.dir/mem/watermark.cc.o.d"
+  "/root/repo/src/mem/zram.cc" "src/CMakeFiles/ice_mem.dir/mem/zram.cc.o" "gcc" "src/CMakeFiles/ice_mem.dir/mem/zram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ice_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

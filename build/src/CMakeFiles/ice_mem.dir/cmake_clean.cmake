@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ice_mem.dir/mem/address_space.cc.o"
+  "CMakeFiles/ice_mem.dir/mem/address_space.cc.o.d"
+  "CMakeFiles/ice_mem.dir/mem/lru.cc.o"
+  "CMakeFiles/ice_mem.dir/mem/lru.cc.o.d"
+  "CMakeFiles/ice_mem.dir/mem/memory_manager.cc.o"
+  "CMakeFiles/ice_mem.dir/mem/memory_manager.cc.o.d"
+  "CMakeFiles/ice_mem.dir/mem/reclaim.cc.o"
+  "CMakeFiles/ice_mem.dir/mem/reclaim.cc.o.d"
+  "CMakeFiles/ice_mem.dir/mem/shadow.cc.o"
+  "CMakeFiles/ice_mem.dir/mem/shadow.cc.o.d"
+  "CMakeFiles/ice_mem.dir/mem/watermark.cc.o"
+  "CMakeFiles/ice_mem.dir/mem/watermark.cc.o.d"
+  "CMakeFiles/ice_mem.dir/mem/zram.cc.o"
+  "CMakeFiles/ice_mem.dir/mem/zram.cc.o.d"
+  "libice_mem.a"
+  "libice_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ice_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

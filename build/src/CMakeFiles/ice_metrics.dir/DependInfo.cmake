@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/frame_stats.cc" "src/CMakeFiles/ice_metrics.dir/metrics/frame_stats.cc.o" "gcc" "src/CMakeFiles/ice_metrics.dir/metrics/frame_stats.cc.o.d"
+  "/root/repo/src/metrics/report.cc" "src/CMakeFiles/ice_metrics.dir/metrics/report.cc.o" "gcc" "src/CMakeFiles/ice_metrics.dir/metrics/report.cc.o.d"
+  "/root/repo/src/metrics/timeline.cc" "src/CMakeFiles/ice_metrics.dir/metrics/timeline.cc.o" "gcc" "src/CMakeFiles/ice_metrics.dir/metrics/timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ice_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ice_metrics.dir/metrics/frame_stats.cc.o"
+  "CMakeFiles/ice_metrics.dir/metrics/frame_stats.cc.o.d"
+  "CMakeFiles/ice_metrics.dir/metrics/report.cc.o"
+  "CMakeFiles/ice_metrics.dir/metrics/report.cc.o.d"
+  "CMakeFiles/ice_metrics.dir/metrics/timeline.cc.o"
+  "CMakeFiles/ice_metrics.dir/metrics/timeline.cc.o.d"
+  "libice_metrics.a"
+  "libice_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ice_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

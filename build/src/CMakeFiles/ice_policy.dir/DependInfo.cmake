@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/acclaim.cc" "src/CMakeFiles/ice_policy.dir/policy/acclaim.cc.o" "gcc" "src/CMakeFiles/ice_policy.dir/policy/acclaim.cc.o.d"
+  "/root/repo/src/policy/power_manager.cc" "src/CMakeFiles/ice_policy.dir/policy/power_manager.cc.o" "gcc" "src/CMakeFiles/ice_policy.dir/policy/power_manager.cc.o.d"
+  "/root/repo/src/policy/registry.cc" "src/CMakeFiles/ice_policy.dir/policy/registry.cc.o" "gcc" "src/CMakeFiles/ice_policy.dir/policy/registry.cc.o.d"
+  "/root/repo/src/policy/scheme.cc" "src/CMakeFiles/ice_policy.dir/policy/scheme.cc.o" "gcc" "src/CMakeFiles/ice_policy.dir/policy/scheme.cc.o.d"
+  "/root/repo/src/policy/ucsg.cc" "src/CMakeFiles/ice_policy.dir/policy/ucsg.cc.o" "gcc" "src/CMakeFiles/ice_policy.dir/policy/ucsg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ice_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ice_policy.dir/policy/acclaim.cc.o"
+  "CMakeFiles/ice_policy.dir/policy/acclaim.cc.o.d"
+  "CMakeFiles/ice_policy.dir/policy/power_manager.cc.o"
+  "CMakeFiles/ice_policy.dir/policy/power_manager.cc.o.d"
+  "CMakeFiles/ice_policy.dir/policy/registry.cc.o"
+  "CMakeFiles/ice_policy.dir/policy/registry.cc.o.d"
+  "CMakeFiles/ice_policy.dir/policy/scheme.cc.o"
+  "CMakeFiles/ice_policy.dir/policy/scheme.cc.o.d"
+  "CMakeFiles/ice_policy.dir/policy/ucsg.cc.o"
+  "CMakeFiles/ice_policy.dir/policy/ucsg.cc.o.d"
+  "libice_policy.a"
+  "libice_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ice_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proc/app.cc" "src/CMakeFiles/ice_proc.dir/proc/app.cc.o" "gcc" "src/CMakeFiles/ice_proc.dir/proc/app.cc.o.d"
+  "/root/repo/src/proc/behavior.cc" "src/CMakeFiles/ice_proc.dir/proc/behavior.cc.o" "gcc" "src/CMakeFiles/ice_proc.dir/proc/behavior.cc.o.d"
+  "/root/repo/src/proc/freezer.cc" "src/CMakeFiles/ice_proc.dir/proc/freezer.cc.o" "gcc" "src/CMakeFiles/ice_proc.dir/proc/freezer.cc.o.d"
+  "/root/repo/src/proc/lmk.cc" "src/CMakeFiles/ice_proc.dir/proc/lmk.cc.o" "gcc" "src/CMakeFiles/ice_proc.dir/proc/lmk.cc.o.d"
+  "/root/repo/src/proc/process.cc" "src/CMakeFiles/ice_proc.dir/proc/process.cc.o" "gcc" "src/CMakeFiles/ice_proc.dir/proc/process.cc.o.d"
+  "/root/repo/src/proc/scheduler.cc" "src/CMakeFiles/ice_proc.dir/proc/scheduler.cc.o" "gcc" "src/CMakeFiles/ice_proc.dir/proc/scheduler.cc.o.d"
+  "/root/repo/src/proc/task.cc" "src/CMakeFiles/ice_proc.dir/proc/task.cc.o" "gcc" "src/CMakeFiles/ice_proc.dir/proc/task.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ice_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

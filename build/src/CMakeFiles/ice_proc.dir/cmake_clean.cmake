@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ice_proc.dir/proc/app.cc.o"
+  "CMakeFiles/ice_proc.dir/proc/app.cc.o.d"
+  "CMakeFiles/ice_proc.dir/proc/behavior.cc.o"
+  "CMakeFiles/ice_proc.dir/proc/behavior.cc.o.d"
+  "CMakeFiles/ice_proc.dir/proc/freezer.cc.o"
+  "CMakeFiles/ice_proc.dir/proc/freezer.cc.o.d"
+  "CMakeFiles/ice_proc.dir/proc/lmk.cc.o"
+  "CMakeFiles/ice_proc.dir/proc/lmk.cc.o.d"
+  "CMakeFiles/ice_proc.dir/proc/process.cc.o"
+  "CMakeFiles/ice_proc.dir/proc/process.cc.o.d"
+  "CMakeFiles/ice_proc.dir/proc/scheduler.cc.o"
+  "CMakeFiles/ice_proc.dir/proc/scheduler.cc.o.d"
+  "CMakeFiles/ice_proc.dir/proc/task.cc.o"
+  "CMakeFiles/ice_proc.dir/proc/task.cc.o.d"
+  "libice_proc.a"
+  "libice_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ice_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

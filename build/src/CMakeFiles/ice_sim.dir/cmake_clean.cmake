@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ice_sim.dir/sim/engine.cc.o"
+  "CMakeFiles/ice_sim.dir/sim/engine.cc.o.d"
+  "CMakeFiles/ice_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/ice_sim.dir/sim/event_queue.cc.o.d"
+  "libice_sim.a"
+  "libice_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ice_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

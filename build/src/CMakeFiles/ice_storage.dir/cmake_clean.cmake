@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ice_storage.dir/storage/block_device.cc.o"
+  "CMakeFiles/ice_storage.dir/storage/block_device.cc.o.d"
+  "CMakeFiles/ice_storage.dir/storage/flash_profiles.cc.o"
+  "CMakeFiles/ice_storage.dir/storage/flash_profiles.cc.o.d"
+  "libice_storage.a"
+  "libice_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ice_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

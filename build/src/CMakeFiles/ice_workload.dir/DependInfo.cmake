@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/app_catalog.cc" "src/CMakeFiles/ice_workload.dir/workload/app_catalog.cc.o" "gcc" "src/CMakeFiles/ice_workload.dir/workload/app_catalog.cc.o.d"
+  "/root/repo/src/workload/bg_activity.cc" "src/CMakeFiles/ice_workload.dir/workload/bg_activity.cc.o" "gcc" "src/CMakeFiles/ice_workload.dir/workload/bg_activity.cc.o.d"
+  "/root/repo/src/workload/launch_driver.cc" "src/CMakeFiles/ice_workload.dir/workload/launch_driver.cc.o" "gcc" "src/CMakeFiles/ice_workload.dir/workload/launch_driver.cc.o.d"
+  "/root/repo/src/workload/scenario.cc" "src/CMakeFiles/ice_workload.dir/workload/scenario.cc.o" "gcc" "src/CMakeFiles/ice_workload.dir/workload/scenario.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/CMakeFiles/ice_workload.dir/workload/synthetic.cc.o" "gcc" "src/CMakeFiles/ice_workload.dir/workload/synthetic.cc.o.d"
+  "/root/repo/src/workload/usage_trace.cc" "src/CMakeFiles/ice_workload.dir/workload/usage_trace.cc.o" "gcc" "src/CMakeFiles/ice_workload.dir/workload/usage_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ice_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

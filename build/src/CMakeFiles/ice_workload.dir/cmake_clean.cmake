@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ice_workload.dir/workload/app_catalog.cc.o"
+  "CMakeFiles/ice_workload.dir/workload/app_catalog.cc.o.d"
+  "CMakeFiles/ice_workload.dir/workload/bg_activity.cc.o"
+  "CMakeFiles/ice_workload.dir/workload/bg_activity.cc.o.d"
+  "CMakeFiles/ice_workload.dir/workload/launch_driver.cc.o"
+  "CMakeFiles/ice_workload.dir/workload/launch_driver.cc.o.d"
+  "CMakeFiles/ice_workload.dir/workload/scenario.cc.o"
+  "CMakeFiles/ice_workload.dir/workload/scenario.cc.o.d"
+  "CMakeFiles/ice_workload.dir/workload/synthetic.cc.o"
+  "CMakeFiles/ice_workload.dir/workload/synthetic.cc.o.d"
+  "CMakeFiles/ice_workload.dir/workload/usage_trace.cc.o"
+  "CMakeFiles/ice_workload.dir/workload/usage_trace.cc.o.d"
+  "libice_workload.a"
+  "libice_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ice_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/android/activity_manager_test.cc" "tests/CMakeFiles/android_test.dir/android/activity_manager_test.cc.o" "gcc" "tests/CMakeFiles/android_test.dir/android/activity_manager_test.cc.o.d"
+  "/root/repo/tests/android/choreographer_test.cc" "tests/CMakeFiles/android_test.dir/android/choreographer_test.cc.o" "gcc" "tests/CMakeFiles/android_test.dir/android/choreographer_test.cc.o.d"
+  "/root/repo/tests/android/system_services_test.cc" "tests/CMakeFiles/android_test.dir/android/system_services_test.cc.o" "gcc" "tests/CMakeFiles/android_test.dir/android/system_services_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ice_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ice_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

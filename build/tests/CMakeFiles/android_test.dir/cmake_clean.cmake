@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/android_test.dir/android/activity_manager_test.cc.o"
+  "CMakeFiles/android_test.dir/android/activity_manager_test.cc.o.d"
+  "CMakeFiles/android_test.dir/android/choreographer_test.cc.o"
+  "CMakeFiles/android_test.dir/android/choreographer_test.cc.o.d"
+  "CMakeFiles/android_test.dir/android/system_services_test.cc.o"
+  "CMakeFiles/android_test.dir/android/system_services_test.cc.o.d"
+  "android_test"
+  "android_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/android_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

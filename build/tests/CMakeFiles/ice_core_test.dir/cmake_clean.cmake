@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ice_core_test.dir/ice/mapping_table_test.cc.o"
+  "CMakeFiles/ice_core_test.dir/ice/mapping_table_test.cc.o.d"
+  "CMakeFiles/ice_core_test.dir/ice/mdt_test.cc.o"
+  "CMakeFiles/ice_core_test.dir/ice/mdt_test.cc.o.d"
+  "CMakeFiles/ice_core_test.dir/ice/predictor_test.cc.o"
+  "CMakeFiles/ice_core_test.dir/ice/predictor_test.cc.o.d"
+  "CMakeFiles/ice_core_test.dir/ice/procfs_test.cc.o"
+  "CMakeFiles/ice_core_test.dir/ice/procfs_test.cc.o.d"
+  "CMakeFiles/ice_core_test.dir/ice/rpf_test.cc.o"
+  "CMakeFiles/ice_core_test.dir/ice/rpf_test.cc.o.d"
+  "CMakeFiles/ice_core_test.dir/ice/whitelist_test.cc.o"
+  "CMakeFiles/ice_core_test.dir/ice/whitelist_test.cc.o.d"
+  "ice_core_test"
+  "ice_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ice_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_test.dir/mem/address_space_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/address_space_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem/lru_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/lru_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem/memory_manager_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/memory_manager_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem/reclaim_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/reclaim_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem/shadow_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/shadow_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem/watermark_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/watermark_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem/zram_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/zram_test.cc.o.d"
+  "mem_test"
+  "mem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

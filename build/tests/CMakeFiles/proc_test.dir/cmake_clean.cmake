@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proc_test.dir/proc/behavior_test.cc.o"
+  "CMakeFiles/proc_test.dir/proc/behavior_test.cc.o.d"
+  "CMakeFiles/proc_test.dir/proc/freezer_test.cc.o"
+  "CMakeFiles/proc_test.dir/proc/freezer_test.cc.o.d"
+  "CMakeFiles/proc_test.dir/proc/lmk_test.cc.o"
+  "CMakeFiles/proc_test.dir/proc/lmk_test.cc.o.d"
+  "CMakeFiles/proc_test.dir/proc/scheduler_test.cc.o"
+  "CMakeFiles/proc_test.dir/proc/scheduler_test.cc.o.d"
+  "CMakeFiles/proc_test.dir/proc/task_test.cc.o"
+  "CMakeFiles/proc_test.dir/proc/task_test.cc.o.d"
+  "proc_test"
+  "proc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_test.dir/workload/app_catalog_test.cc.o"
+  "CMakeFiles/workload_test.dir/workload/app_catalog_test.cc.o.d"
+  "CMakeFiles/workload_test.dir/workload/bg_activity_test.cc.o"
+  "CMakeFiles/workload_test.dir/workload/bg_activity_test.cc.o.d"
+  "CMakeFiles/workload_test.dir/workload/launch_driver_test.cc.o"
+  "CMakeFiles/workload_test.dir/workload/launch_driver_test.cc.o.d"
+  "CMakeFiles/workload_test.dir/workload/scenario_test.cc.o"
+  "CMakeFiles/workload_test.dir/workload/scenario_test.cc.o.d"
+  "CMakeFiles/workload_test.dir/workload/synthetic_test.cc.o"
+  "CMakeFiles/workload_test.dir/workload/synthetic_test.cc.o.d"
+  "workload_test"
+  "workload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

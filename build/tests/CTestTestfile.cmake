@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(base_test "/root/repo/build/tests/base_test")
+set_tests_properties(base_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;9;ice_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sim_test "/root/repo/build/tests/sim_test")
+set_tests_properties(sim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;15;ice_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(storage_test "/root/repo/build/tests/storage_test")
+set_tests_properties(storage_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;19;ice_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(mem_test "/root/repo/build/tests/mem_test")
+set_tests_properties(mem_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;22;ice_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(proc_test "/root/repo/build/tests/proc_test")
+set_tests_properties(proc_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;31;ice_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(android_test "/root/repo/build/tests/android_test")
+set_tests_properties(android_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;38;ice_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(workload_test "/root/repo/build/tests/workload_test")
+set_tests_properties(workload_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;43;ice_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(policy_test "/root/repo/build/tests/policy_test")
+set_tests_properties(policy_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;50;ice_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ice_core_test "/root/repo/build/tests/ice_core_test")
+set_tests_properties(ice_core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;53;ice_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;61;ice_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(harness_test "/root/repo/build/tests/harness_test")
+set_tests_properties(harness_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;66;ice_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(metrics_test "/root/repo/build/tests/metrics_test")
+set_tests_properties(metrics_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;69;ice_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build/tests/property_test")
+set_tests_properties(property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;73;ice_add_test;/root/repo/tests/CMakeLists.txt;0;")
