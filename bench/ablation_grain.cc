@@ -3,40 +3,41 @@
 // running — they keep refaulting, so the inhibition is weaker (and on real
 // devices risks wedging the app, which we measure by proxy as residual
 // activity of half-frozen apps).
+//
+// Both variants x seeds run as one parallel sweep; raw cells land in
+// results/ablation_grain.json.
 #include "bench/bench_util.h"
 #include "src/ice/daemon.h"
 
 using namespace ice;
 
-namespace {
-
-ScenarioAverages RunGrain(bool application_grain, int rounds) {
-  ScenarioAverages avg;
-  for (int round = 0; round < rounds; ++round) {
-    ExperimentConfig config;
-    config.device = P20Profile();
-    config.scheme = "ice";
-    config.ice.application_grain = application_grain;
-    config.seed = 41000 + static_cast<uint64_t>(round) * 104729;
-    Experiment exp(config);
-    Uid fg = exp.UidOf(ScenarioPackage(ScenarioKind::kShortVideo));
-    exp.CacheBackgroundApps(8, {fg});
-    ScenarioResult r = exp.RunScenario(ScenarioKind::kShortVideo, Sec(30));
-    avg.fps += r.avg_fps / rounds;
-    avg.refaults_bg += static_cast<double>(r.refaults_bg) / rounds;
-    avg.reclaims += static_cast<double>(r.reclaims) / rounds;
-    avg.freezes += static_cast<double>(r.freezes) / rounds;
-  }
-  return avg;
-}
-
-}  // namespace
-
 int main() {
   PrintSection("Ablation: application-grain vs single-process freezing (S-B, P20)");
   int rounds = BenchRounds(3);
-  ScenarioAverages app_grain = RunGrain(true, rounds);
-  ScenarioAverages proc_grain = RunGrain(false, rounds);
+  std::vector<uint64_t> seeds = RoundSeeds(rounds, 41000, 104729);
+
+  // Variant-major, seed-minor: [0, rounds) = application grain,
+  // [rounds, 2*rounds) = single-process.
+  std::vector<SweepCell> cells;
+  for (bool application_grain : {true, false}) {
+    for (uint64_t seed : seeds) {
+      SweepCell cell;
+      cell.config.device = P20Profile();
+      cell.config.scheme = "ice";
+      cell.config.ice.application_grain = application_grain;
+      cell.config.seed = seed;
+      cell.scenario = ScenarioKind::kShortVideo;
+      cell.bg_apps = 8;
+      cell.duration = Sec(30);
+      cells.push_back(cell);
+    }
+  }
+
+  SweepRunner runner;
+  std::vector<CellOutcome> outcomes = runner.Run(cells);
+  WriteSweepReport("ablation_grain", runner.jobs(), cells, outcomes);
+  ScenarioAverages app_grain = AverageOutcomes(outcomes, 0, seeds.size());
+  ScenarioAverages proc_grain = AverageOutcomes(outcomes, seeds.size(), seeds.size());
 
   Table table({"freezing granularity", "fps", "BG refaults", "freeze ops"});
   table.AddRow({"application (Ice default)", Table::Num(app_grain.fps),

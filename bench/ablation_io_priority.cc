@@ -3,6 +3,10 @@
 // dispatch at the block layer fixes the I/O half of the inversion but not
 // the reclaim half; ICE removes the cause instead. Comparing stock LRU+CFS,
 // LRU+CFS with FG-priority I/O, and Ice.
+//
+// The scheme x seed grid runs as one parallel sweep via SweepRunner::Map
+// (the cell body is custom — it also samples the block device's FG latency,
+// which ScenarioResult does not carry).
 #include "bench/bench_util.h"
 
 using namespace ice;
@@ -18,6 +22,25 @@ class FastTrackIoScheme : public Scheme {
   }
 };
 
+struct IoOutcome {
+  ScenarioResult result;
+  double fg_latency_us = 0.0;
+};
+
+IoOutcome RunIoCell(const std::string& scheme, uint64_t seed) {
+  ExperimentConfig config;
+  config.device = Pixel3Profile();
+  config.scheme = scheme;
+  config.seed = seed;
+  Experiment exp(config);
+  Uid fg = exp.UidOf(ScenarioPackage(ScenarioKind::kGame));
+  exp.CacheBackgroundApps(6, {fg});
+  IoOutcome out;
+  out.result = exp.RunScenario(ScenarioKind::kGame, Sec(30));
+  out.fg_latency_us = exp.storage().fg_mean_latency_us();
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -27,24 +50,29 @@ int main() {
       "fasttrack_io", []() { return std::make_unique<FastTrackIoScheme>(); });
 
   int rounds = BenchRounds(3);
+  std::vector<uint64_t> seeds = RoundSeeds(rounds, 61000, 104729);
+  const std::vector<std::string> kSchemes = {"lru_cfs", "fasttrack_io", "ice"};
+
+  SweepRunner runner;
+  std::printf("running %zu cells on %d workers\n", kSchemes.size() * seeds.size(),
+              runner.jobs());
+  // Scheme-major, seed-minor flat grid.
+  auto outcomes = runner.Map<IoOutcome>(kSchemes.size() * seeds.size(), [&](size_t i) {
+    return RunIoCell(kSchemes[i / seeds.size()], seeds[i % seeds.size()]);
+  });
+
   Table table({"scheme", "fps", "RIA", "refaults", "FG I/O mean latency"});
-  for (const char* scheme : {"lru_cfs", "fasttrack_io", "ice"}) {
+  for (size_t s = 0; s < kSchemes.size(); ++s) {
     double fps = 0, ria = 0, rf = 0, fg_lat = 0;
-    for (int round = 0; round < rounds; ++round) {
-      ExperimentConfig config;
-      config.device = Pixel3Profile();
-      config.scheme = scheme;
-      config.seed = 61000 + static_cast<uint64_t>(round) * 104729;
-      Experiment exp(config);
-      Uid fg = exp.UidOf(ScenarioPackage(ScenarioKind::kGame));
-      exp.CacheBackgroundApps(6, {fg});
-      ScenarioResult r = exp.RunScenario(ScenarioKind::kGame, Sec(30));
-      fps += r.avg_fps / rounds;
-      ria += r.ria / rounds;
-      rf += static_cast<double>(r.refaults) / rounds;
-      fg_lat += exp.storage().fg_mean_latency_us() / rounds;
+    for (size_t r = 0; r < seeds.size(); ++r) {
+      const auto& o = outcomes[s * seeds.size() + r];
+      ICE_CHECK(o.ok) << "cell failed: " << o.error;
+      fps += o.value.result.avg_fps / static_cast<double>(seeds.size());
+      ria += o.value.result.ria / static_cast<double>(seeds.size());
+      rf += static_cast<double>(o.value.result.refaults) / static_cast<double>(seeds.size());
+      fg_lat += o.value.fg_latency_us / static_cast<double>(seeds.size());
     }
-    table.AddRow({scheme, Table::Num(fps), Table::Pct(ria, 0), Table::Num(rf, 0),
+    table.AddRow({kSchemes[s], Table::Num(fps), Table::Pct(ria, 0), Table::Num(rf, 0),
                   Table::Num(fg_lat, 0) + " us"});
   }
   table.Print();

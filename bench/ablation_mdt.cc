@@ -3,6 +3,9 @@
 //    against how long apps stay inhibited;
 //  * static-vs-dynamic: a fixed freeze duration (power-manager style)
 //    versus Eq. 1's pressure-adaptive E_f.
+//
+// All seven MDT variants x seeds run as one parallel sweep; raw cells land
+// in results/ablation_mdt.json.
 #include "bench/bench_util.h"
 #include "src/ice/daemon.h"
 
@@ -10,44 +13,57 @@ using namespace ice;
 
 namespace {
 
-struct MdtOutcome {
-  double fps = 0;
-  double refaults_bg = 0;
-  double thaws = 0;
+struct MdtVariant {
+  double delta;
+  SimDuration min_freeze;
+  SimDuration max_freeze;
 };
-
-MdtOutcome RunMdt(double delta, SimDuration min_freeze, SimDuration max_freeze, int rounds) {
-  MdtOutcome out;
-  for (int round = 0; round < rounds; ++round) {
-    ExperimentConfig config;
-    config.device = P20Profile();
-    config.scheme = "ice";
-    config.ice.delta = delta;
-    config.ice.min_freeze = min_freeze;
-    config.ice.max_freeze = max_freeze;
-    config.seed = 43000 + static_cast<uint64_t>(round) * 104729;
-    Experiment exp(config);
-    Uid fg = exp.UidOf(ScenarioPackage(ScenarioKind::kShortVideo));
-    exp.CacheBackgroundApps(8, {fg});
-    ScenarioResult r = exp.RunScenario(ScenarioKind::kShortVideo, Sec(30));
-    out.fps += r.avg_fps / rounds;
-    out.refaults_bg += static_cast<double>(r.refaults_bg) / rounds;
-    out.thaws += static_cast<double>(r.thaws) / rounds;
-  }
-  return out;
-}
 
 }  // namespace
 
 int main() {
   int rounds = BenchRounds(2);
+  std::vector<uint64_t> seeds = RoundSeeds(rounds, 43000, 104729);
+
+  // Variants 0-3: the delta sweep; 4-6: static short, static long, dynamic.
+  const MdtVariant kVariants[] = {
+      {1.0, Sec(1), Sec(64)},  {4.0, Sec(1), Sec(64)},  {8.0, Sec(1), Sec(64)},
+      {16.0, Sec(1), Sec(64)}, {8.0, Sec(4), Sec(4)},   {8.0, Sec(64), Sec(64)},
+      {8.0, Sec(1), Sec(64)},
+  };
+  const size_t kNumVariants = sizeof(kVariants) / sizeof(kVariants[0]);
+
+  std::vector<SweepCell> cells;
+  for (const MdtVariant& v : kVariants) {
+    for (uint64_t seed : seeds) {
+      SweepCell cell;
+      cell.config.device = P20Profile();
+      cell.config.scheme = "ice";
+      cell.config.ice.delta = v.delta;
+      cell.config.ice.min_freeze = v.min_freeze;
+      cell.config.ice.max_freeze = v.max_freeze;
+      cell.config.seed = seed;
+      cell.scenario = ScenarioKind::kShortVideo;
+      cell.bg_apps = 8;
+      cell.duration = Sec(30);
+      cells.push_back(cell);
+    }
+  }
+
+  SweepRunner runner;
+  std::printf("running %zu cells on %d workers\n", cells.size(), runner.jobs());
+  std::vector<CellOutcome> outcomes = runner.Run(cells);
+  WriteSweepReport("ablation_mdt", runner.jobs(), cells, outcomes);
+  std::vector<ScenarioAverages> avg(kNumVariants);
+  for (size_t v = 0; v < kNumVariants; ++v) {
+    avg[v] = AverageOutcomes(outcomes, v * seeds.size(), seeds.size());
+  }
 
   PrintSection("MDT ablation 1: delta sweep (Table 4 default: 8.0)");
   Table sweep({"delta", "fps", "BG refaults", "thaw ops"});
-  for (double delta : {1.0, 4.0, 8.0, 16.0}) {
-    MdtOutcome out = RunMdt(delta, Sec(1), Sec(64), rounds);
-    sweep.AddRow({Table::Num(delta, 1), Table::Num(out.fps), Table::Num(out.refaults_bg, 0),
-                  Table::Num(out.thaws, 1)});
+  for (size_t v = 0; v < 4; ++v) {
+    sweep.AddRow({Table::Num(kVariants[v].delta, 1), Table::Num(avg[v].fps),
+                  Table::Num(avg[v].refaults_bg, 0), Table::Num(avg[v].thaws, 1)});
   }
   sweep.Print();
   std::printf("\nLarger delta => longer freeze periods => fewer thaw windows and fewer\n"
@@ -55,16 +71,12 @@ int main() {
 
   PrintSection("MDT ablation 2: static freeze duration vs Eq. 1 dynamic");
   Table mode({"mode", "fps", "BG refaults", "thaw ops"});
-  // Static: clamp min == max so E_f never adapts (power-manager style).
-  MdtOutcome static_short = RunMdt(8.0, Sec(4), Sec(4), rounds);
-  MdtOutcome static_long = RunMdt(8.0, Sec(64), Sec(64), rounds);
-  MdtOutcome dynamic = RunMdt(8.0, Sec(1), Sec(64), rounds);
-  mode.AddRow({"static E_f = 4 s", Table::Num(static_short.fps),
-               Table::Num(static_short.refaults_bg, 0), Table::Num(static_short.thaws, 1)});
-  mode.AddRow({"static E_f = 64 s", Table::Num(static_long.fps),
-               Table::Num(static_long.refaults_bg, 0), Table::Num(static_long.thaws, 1)});
-  mode.AddRow({"dynamic (Eq. 1)", Table::Num(dynamic.fps),
-               Table::Num(dynamic.refaults_bg, 0), Table::Num(dynamic.thaws, 1)});
+  mode.AddRow({"static E_f = 4 s", Table::Num(avg[4].fps),
+               Table::Num(avg[4].refaults_bg, 0), Table::Num(avg[4].thaws, 1)});
+  mode.AddRow({"static E_f = 64 s", Table::Num(avg[5].fps),
+               Table::Num(avg[5].refaults_bg, 0), Table::Num(avg[5].thaws, 1)});
+  mode.AddRow({"dynamic (Eq. 1)", Table::Num(avg[6].fps),
+               Table::Num(avg[6].refaults_bg, 0), Table::Num(avg[6].thaws, 1)});
   mode.Print();
   std::printf("\nThe paper's design point: intensity should rise with memory pressure\n"
               "(Eq. 1), matching the long-static variant under pressure while\n"

@@ -68,10 +68,20 @@ double MeasureHotLaunchMs(bool enable_prediction, bool reclaim_all, int pairs) {
 int main() {
   PrintSection("Extension ablation: prediction-assisted pre-thawing (§6.3.1)");
   int pairs = BenchRounds(4);
-  double frozen_base = MeasureHotLaunchMs(false, false, pairs);
-  double frozen_pred = MeasureHotLaunchMs(true, false, pairs);
-  double worst_base = MeasureHotLaunchMs(false, true, pairs);
-  double worst_pred = MeasureHotLaunchMs(true, true, pairs);
+  // The four (prediction, reclaim_all) variants are independent experiments:
+  // fan them out on the sweep pool. Variant order: (F,F) (T,F) (F,T) (T,T).
+  const bool kVariants[][2] = {{false, false}, {true, false}, {false, true}, {true, true}};
+  SweepRunner runner;
+  auto outcomes = runner.Map<double>(4, [&](size_t i) {
+    return MeasureHotLaunchMs(kVariants[i][0], kVariants[i][1], pairs);
+  });
+  for (const auto& o : outcomes) {
+    ICE_CHECK(o.ok) << "variant failed: " << o.error;
+  }
+  double frozen_base = outcomes[0].value;
+  double frozen_pred = outcomes[1].value;
+  double worst_base = outcomes[2].value;
+  double worst_pred = outcomes[3].value;
 
   Table table({"case", "Ice (ms)", "Ice + Markov pre-thaw (ms)", "saved"});
   table.AddRow({"frozen app", Table::Num(frozen_base, 0), Table::Num(frozen_pred, 0),

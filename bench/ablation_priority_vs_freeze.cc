@@ -4,7 +4,9 @@
 // reduction of page refaults is not significant."
 //
 // We compare: LRU+CFS, UCSG (moderate deprioritization), a maximal
-// priority-reduction variant (nice +19 for all BG tasks), and Ice.
+// priority-reduction variant (nice +19 for all BG tasks), and Ice. The
+// scheme x seed grid runs as one parallel sweep; raw cells land in
+// results/ablation_priority_vs_freeze.json.
 #include "bench/bench_util.h"
 #include "src/proc/process.h"
 #include "src/proc/task.h"
@@ -34,15 +36,29 @@ class MaxDeprioritizeScheme : public Scheme {
 int main() {
   PrintSection("Ablation: priority reduction vs freezing (S-B on P20, 8 BG apps)");
   RegisterIceScheme();
+  // Registered before the sweep spawns workers; the registry is also
+  // mutex-guarded, so the in-Experiment re-registrations are safe.
   SchemeRegistry::Instance().Register(
       "nice19", []() { return std::make_unique<MaxDeprioritizeScheme>(); });
 
   int rounds = BenchRounds(3);
+  SweepAxes axes;
+  axes.devices = {P20Profile()};
+  axes.schemes = {"lru_cfs", "ucsg", "nice19", "ice"};
+  axes.scenarios = {ScenarioKind::kShortVideo};
+  axes.bg_counts = {8};
+  axes.seeds = RoundSeeds(rounds);
+
+  SweepRunner runner;
+  std::vector<SweepCell> cells = axes.Cells();
+  std::printf("running %zu cells on %d workers\n", cells.size(), runner.jobs());
+  std::vector<CellOutcome> outcomes = runner.Run(cells);
+  WriteSweepReport("ablation_priority_vs_freeze", runner.jobs(), cells, outcomes);
+
   Table table({"scheme", "fps", "BG refaults", "reclaims"});
-  for (const char* scheme : {"lru_cfs", "ucsg", "nice19", "ice"}) {
-    ScenarioAverages avg =
-        RunScenarioRounds(P20Profile(), scheme, ScenarioKind::kShortVideo, 8, rounds);
-    table.AddRow({scheme, Table::Num(avg.fps), Table::Num(avg.refaults_bg, 0),
+  for (size_t s = 0; s < axes.schemes.size(); ++s) {
+    ScenarioAverages avg = AverageSeeds(axes, outcomes, 0, s, 0, 0);
+    table.AddRow({axes.schemes[s], Table::Num(avg.fps), Table::Num(avg.refaults_bg, 0),
                   Table::Num(avg.reclaims, 0)});
   }
   table.Print();

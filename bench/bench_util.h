@@ -1,5 +1,7 @@
 // Shared helpers for the reproduction benches: each binary regenerates one
-// table or figure from the paper and prints paper-vs-measured rows.
+// table or figure from the paper and prints paper-vs-measured rows. Grids
+// run on the SweepRunner pool (ICE_JOBS controls the worker count) and each
+// bench exports its raw cells as JSON under results/.
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
@@ -8,7 +10,10 @@
 #include <string>
 #include <vector>
 
+#include "src/base/log.h"
 #include "src/harness/experiment.h"
+#include "src/harness/sweep.h"
+#include "src/harness/sweep_report.h"
 #include "src/metrics/report.h"
 
 namespace ice {
@@ -36,6 +41,17 @@ inline double Mean(const std::vector<double>& values) {
   return sum / static_cast<double>(values.size());
 }
 
+// The canonical per-round seed sequence shared by the benches.
+inline std::vector<uint64_t> RoundSeeds(int rounds, uint64_t base = 1000,
+                                        uint64_t stride = 7919) {
+  std::vector<uint64_t> seeds;
+  seeds.reserve(static_cast<size_t>(rounds));
+  for (int r = 0; r < rounds; ++r) {
+    seeds.push_back(base + static_cast<uint64_t>(r) * stride);
+  }
+  return seeds;
+}
+
 // Averages ScenarioResults over seeds for one (device, scheme, scenario, bg)
 // configuration.
 struct ScenarioAverages {
@@ -49,25 +65,20 @@ struct ScenarioAverages {
   double io_bytes = 0.0;
   double cpu_util = 0.0;
   double freezes = 0.0;
+  double thaws = 0.0;
 };
 
-inline ScenarioAverages RunScenarioRounds(const DeviceProfile& device,
-                                          const std::string& scheme, ScenarioKind kind,
-                                          int bg_apps, int rounds,
-                                          SimDuration duration = Sec(30),
-                                          SimDuration warmup = Sec(240)) {
+// Averages a contiguous block of sweep outcomes (typically the seed axis of
+// one grid coordinate). Failed cells abort: a bench averaging over a crashed
+// cell would silently skew the figure.
+inline ScenarioAverages AverageOutcomes(const std::vector<CellOutcome>& outcomes,
+                                        size_t begin, size_t count) {
   ScenarioAverages avg;
-  for (int round = 0; round < rounds; ++round) {
-    ExperimentConfig config;
-    config.device = device;
-    config.scheme = scheme;
-    config.seed = 1000 + static_cast<uint64_t>(round) * 7919;
-    Experiment exp(config);
-    Uid fg = exp.UidOf(ScenarioPackage(kind));
-    if (bg_apps > 0) {
-      exp.CacheBackgroundApps(bg_apps, {fg});
-    }
-    ScenarioResult r = exp.RunScenario(kind, duration, warmup);
+  ICE_CHECK_LE(begin + count, outcomes.size());
+  ICE_CHECK_GT(count, 0u);
+  for (size_t i = begin; i < begin + count; ++i) {
+    ICE_CHECK(outcomes[i].ok) << "sweep cell " << i << " failed: " << outcomes[i].error;
+    const ScenarioResult& r = outcomes[i].value;
     avg.fps += r.avg_fps;
     avg.ria += r.ria;
     avg.reclaims += static_cast<double>(r.reclaims);
@@ -78,8 +89,9 @@ inline ScenarioAverages RunScenarioRounds(const DeviceProfile& device,
     avg.io_bytes += static_cast<double>(r.io_bytes);
     avg.cpu_util += r.cpu_util;
     avg.freezes += static_cast<double>(r.freezes);
+    avg.thaws += static_cast<double>(r.thaws);
   }
-  double n = rounds;
+  double n = static_cast<double>(count);
   avg.fps /= n;
   avg.ria /= n;
   avg.reclaims /= n;
@@ -90,7 +102,38 @@ inline ScenarioAverages RunScenarioRounds(const DeviceProfile& device,
   avg.io_bytes /= n;
   avg.cpu_util /= n;
   avg.freezes /= n;
+  avg.thaws /= n;
   return avg;
+}
+
+// Averages the seed axis of one (device, scheme, scenario, bg) coordinate of
+// an axes-built sweep.
+inline ScenarioAverages AverageSeeds(const SweepAxes& axes,
+                                     const std::vector<CellOutcome>& outcomes,
+                                     size_t device, size_t scheme, size_t scenario,
+                                     size_t bg) {
+  return AverageOutcomes(outcomes, axes.Index(device, scheme, scenario, bg, 0),
+                         axes.seeds.size());
+}
+
+// Single-configuration convenience used by the non-grid benches: runs
+// `rounds` seeds of one configuration on the pool and averages them.
+inline ScenarioAverages RunScenarioRounds(const DeviceProfile& device,
+                                          const std::string& scheme, ScenarioKind kind,
+                                          int bg_apps, int rounds,
+                                          SimDuration duration = Sec(30),
+                                          SimDuration warmup = Sec(240)) {
+  SweepAxes axes;
+  axes.devices = {device};
+  axes.schemes = {scheme};
+  axes.scenarios = {kind};
+  axes.bg_counts = {bg_apps};
+  axes.seeds = RoundSeeds(rounds);
+  axes.duration = duration;
+  axes.warmup = warmup;
+  SweepRunner runner;
+  std::vector<CellOutcome> outcomes = runner.Run(axes.Cells());
+  return AverageOutcomes(outcomes, 0, outcomes.size());
 }
 
 }  // namespace ice

@@ -3,6 +3,9 @@
 // Paper: Ice cuts refaults by 42.1 / 44.4 / 57.6 / 40.5 % across S-A..S-D,
 // reclaims to 70.7% of LRU+CFS; UCSG's reduction is about half of Ice's;
 // Acclaim sometimes *increases* refaults (+4.3%).
+//
+// The grid runs as one parallel sweep; raw cells land in
+// results/fig10_reclaim_reduction.json.
 #include "bench/bench_util.h"
 
 using namespace ice;
@@ -10,29 +13,42 @@ using namespace ice;
 int main() {
   PrintSection("Figure 10: refault & reclaim counts by scheme (P20, 8 BG apps)");
   int rounds = BenchRounds(3);
-  const char* kSchemes[] = {"lru_cfs", "ucsg", "acclaim", "ice"};
+
+  SweepAxes axes;
+  axes.devices = {P20Profile()};
+  axes.schemes = {"lru_cfs", "ucsg", "acclaim", "ice"};
+  axes.scenarios = {ScenarioKind::kVideoCall, ScenarioKind::kShortVideo,
+                    ScenarioKind::kScrolling, ScenarioKind::kGame};
+  axes.bg_counts = {8};
+  axes.seeds = RoundSeeds(rounds);
+
+  SweepRunner runner;
+  std::vector<SweepCell> cells = axes.Cells();
+  std::printf("running %zu cells on %d workers\n", cells.size(), runner.jobs());
+  std::vector<CellOutcome> outcomes = runner.Run(cells);
+  WriteSweepReport("fig10_reclaim_reduction", runner.jobs(), cells, outcomes);
 
   double lru_rf_total = 0.0, ice_rf_total = 0.0, lru_rec_total = 0.0, ice_rec_total = 0.0;
-  for (ScenarioKind kind : {ScenarioKind::kVideoCall, ScenarioKind::kShortVideo,
-                            ScenarioKind::kScrolling, ScenarioKind::kGame}) {
+  for (size_t c = 0; c < axes.scenarios.size(); ++c) {
+    ScenarioKind kind = axes.scenarios[c];
     Table table({"scheme", "refaults", "reclaims", "BG refaults", "freezes"});
     double lru_rf = 0.0;
-    for (const char* scheme : kSchemes) {
-      ScenarioAverages avg =
-          RunScenarioRounds(P20Profile(), scheme, kind, 8, rounds, Sec(30), Sec(240));
-      if (std::string(scheme) == "lru_cfs") {
+    for (size_t s = 0; s < axes.schemes.size(); ++s) {
+      ScenarioAverages avg = AverageSeeds(axes, outcomes, 0, s, c, 0);
+      if (axes.schemes[s] == "lru_cfs") {
         lru_rf = avg.refaults;
         lru_rf_total += avg.refaults;
         lru_rec_total += avg.reclaims;
       }
-      if (std::string(scheme) == "ice") {
+      if (axes.schemes[s] == "ice") {
         ice_rf_total += avg.refaults;
         ice_rec_total += avg.reclaims;
         std::printf("%s: Ice refault reduction vs LRU+CFS: %.1f%%\n", ScenarioLabel(kind),
                     lru_rf > 0 ? (1.0 - avg.refaults / lru_rf) * 100.0 : 0.0);
       }
-      table.AddRow({scheme, Table::Num(avg.refaults, 0), Table::Num(avg.reclaims, 0),
-                    Table::Num(avg.refaults_bg, 0), Table::Num(avg.freezes, 1)});
+      table.AddRow({axes.schemes[s], Table::Num(avg.refaults, 0),
+                    Table::Num(avg.reclaims, 0), Table::Num(avg.refaults_bg, 0),
+                    Table::Num(avg.freezes, 1)});
     }
     std::printf("%s (%s):\n", ScenarioLabel(kind), ScenarioName(kind));
     table.Print();

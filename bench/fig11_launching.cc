@@ -4,6 +4,7 @@
 // 1.98x the normal hot launch. (b) apps hot-launched in rounds 2-10: ~7-8
 // with LRU+CFS, +25% with Ice.
 #include "bench/bench_util.h"
+#include "src/harness/sweep.h"
 #include "src/workload/launch_driver.h"
 
 using namespace ice;
@@ -44,8 +45,17 @@ DriverOutcome RunDriver(const std::string& scheme, int rounds_of_launches, int s
 int main() {
   PrintSection("Figure 11(a): launch latency, LRU+CFS vs Ice (20 apps, repeated rounds)");
   int driver_rounds = BenchRounds(4);  // Paper: 10 rounds.
-  DriverOutcome lru = RunDriver("lru_cfs", driver_rounds, 31000);
-  DriverOutcome ice_o = RunDriver("ice", driver_rounds, 31000);
+  // The two driver runs are independent experiments: run them on the pool.
+  const char* kDriverSchemes[] = {"lru_cfs", "ice"};
+  SweepRunner runner;
+  auto driver_outcomes = runner.Map<DriverOutcome>(2, [&](size_t i) {
+    return RunDriver(kDriverSchemes[i], driver_rounds, 31000);
+  });
+  for (const auto& o : driver_outcomes) {
+    ICE_CHECK(o.ok) << "launch driver failed: " << o.error;
+  }
+  DriverOutcome lru = driver_outcomes[0].value;
+  DriverOutcome ice_o = driver_outcomes[1].value;
 
   Table table({"metric", "paper", "LRU+CFS", "Ice", "change"});
   table.AddRow({"mean launch (ms)", "-36.6% with Ice", Table::Num(lru.mean_ms, 0),

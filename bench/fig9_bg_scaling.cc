@@ -2,6 +2,9 @@
 // with and without Ice, on both devices. Paper: at full pressure Ice gives
 // 1.57x FPS on Pixel3 (6B+F) and 1.44x on P20 (8B+F); RIA drops by 32.7 /
 // 34.6 percentage points.
+//
+// One parallel sweep per device (the BG-count axis differs between them);
+// raw cells land in results/fig9_bg_scaling_<device>.json.
 #include "bench/bench_util.h"
 
 using namespace ice;
@@ -9,18 +12,32 @@ using namespace ice;
 int main() {
   PrintSection("Figure 9: FPS/RIA vs number of BG apps, LRU+CFS vs Ice");
   int rounds = BenchRounds(2);
+  SweepRunner runner;
 
   for (const DeviceProfile& device : {Pixel3Profile(), P20Profile()}) {
-    std::printf("\n--- %s ---\n", device.name.c_str());
+    SweepAxes axes;
+    axes.devices = {device};
+    axes.schemes = {"lru_cfs", "ice"};
+    axes.scenarios = {ScenarioKind::kVideoCall, ScenarioKind::kShortVideo,
+                      ScenarioKind::kScrolling, ScenarioKind::kGame};
+    for (int bg = 0; bg <= device.full_pressure_bg_apps; bg += 2) {
+      axes.bg_counts.push_back(bg);
+    }
+    axes.seeds = RoundSeeds(rounds);
+
+    std::vector<SweepCell> cells = axes.Cells();
+    std::printf("\n--- %s (%zu cells on %d workers) ---\n", device.name.c_str(),
+                cells.size(), runner.jobs());
+    std::vector<CellOutcome> outcomes = runner.Run(cells);
+    WriteSweepReport("fig9_bg_scaling_" + device.name, runner.jobs(), cells, outcomes);
+
     Table table({"config", "LRU+CFS fps", "Ice fps", "Ice/LRU", "LRU RIA", "Ice RIA"});
-    int max_bg = device.full_pressure_bg_apps;
-    for (int bg = 0; bg <= max_bg; bg += 2) {
+    for (size_t b = 0; b < axes.bg_counts.size(); ++b) {
       // Scenario average over the four scenarios, like the paper.
       double lru_fps = 0, ice_fps = 0, lru_ria = 0, ice_ria = 0;
-      for (ScenarioKind kind : {ScenarioKind::kVideoCall, ScenarioKind::kShortVideo,
-                                ScenarioKind::kScrolling, ScenarioKind::kGame}) {
-        ScenarioAverages lru = RunScenarioRounds(device, "lru_cfs", kind, bg, rounds);
-        ScenarioAverages ice_avg = RunScenarioRounds(device, "ice", kind, bg, rounds);
+      for (size_t c = 0; c < axes.scenarios.size(); ++c) {
+        ScenarioAverages lru = AverageSeeds(axes, outcomes, 0, 0, c, b);
+        ScenarioAverages ice_avg = AverageSeeds(axes, outcomes, 0, 1, c, b);
         lru_fps += lru.fps;
         ice_fps += ice_avg.fps;
         lru_ria += lru.ria;
@@ -30,6 +47,7 @@ int main() {
       ice_fps /= 4;
       lru_ria /= 4;
       ice_ria /= 4;
+      int bg = axes.bg_counts[b];
       std::string label = bg == 0 ? "F" : std::to_string(bg) + "B+F";
       table.AddRow({label, Table::Num(lru_fps), Table::Num(ice_fps),
                     Table::Num(lru_fps > 0 ? ice_fps / lru_fps : 0, 2) + "x",

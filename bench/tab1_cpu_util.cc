@@ -1,10 +1,47 @@
 // Table 1: CPU utilization with N (0..8) apps cached in the background and
 // no foreground app. Paper: average rises 43% -> 55%, peak 52% -> 69%.
+//
+// The (BG count x seed) grid runs as one parallel sweep via SweepRunner::Map
+// (the cell body is custom — it samples scheduler utilization with no
+// foreground scenario, so it does not fit the standard SweepCell shape).
 #include <algorithm>
 
 #include "bench/bench_util.h"
 
 using namespace ice;
+
+namespace {
+
+struct UtilSample {
+  double avg = 0.0;
+  double peak = 0.0;
+};
+
+UtilSample MeasureUtilization(int bg_apps, uint64_t seed) {
+  ExperimentConfig config;
+  config.device = P20Profile();
+  config.seed = seed;
+  Experiment exp(config);
+  if (bg_apps > 0) {
+    exp.CacheBackgroundApps(bg_apps);
+  }
+  // Measure 10 s with no FG app, like the paper's setup, after a settle.
+  exp.engine().RunFor(Sec(5));
+  size_t start_samples = exp.scheduler().utilization_per_second().size();
+  exp.engine().RunFor(Sec(10));
+  const auto& samples = exp.scheduler().utilization_per_second();
+  UtilSample out;
+  size_t n = 0;
+  for (size_t i = start_samples; i < samples.size(); ++i) {
+    out.peak = std::max(out.peak, samples[i]);
+    out.avg += samples[i];
+    ++n;
+  }
+  out.avg = n ? out.avg / static_cast<double>(n) : 0.0;
+  return out;
+}
+
+}  // namespace
 
 int main() {
   PrintSection("Table 1: CPU utilization with N apps in the BG (no FG app)");
@@ -15,37 +52,28 @@ int main() {
     int peak_pct;
   };
   const PaperRow kPaper[] = {{0, 43, 52}, {2, 46, 58}, {4, 47, 63}, {6, 51, 67}, {8, 55, 69}};
+  const size_t kRows = sizeof(kPaper) / sizeof(kPaper[0]);
 
   int rounds = BenchRounds(3);
-  Table table({"BG apps", "paper avg", "paper peak", "measured avg", "measured peak"});
+  std::vector<uint64_t> seeds = RoundSeeds(rounds, 100);
+  SweepRunner runner;
+  std::printf("running %zu cells on %d workers\n", kRows * seeds.size(), runner.jobs());
+  // Flat grid: row-major (BG count, seed), deterministic regardless of jobs.
+  auto outcomes = runner.Map<UtilSample>(kRows * seeds.size(), [&](size_t i) {
+    return MeasureUtilization(kPaper[i / seeds.size()].n, seeds[i % seeds.size()]);
+  });
 
-  for (const PaperRow& row : kPaper) {
+  Table table({"BG apps", "paper avg", "paper peak", "measured avg", "measured peak"});
+  for (size_t row = 0; row < kRows; ++row) {
     std::vector<double> avgs, peaks;
-    for (int round = 0; round < rounds; ++round) {
-      ExperimentConfig config;
-      config.device = P20Profile();
-      config.seed = 100 + static_cast<uint64_t>(round) * 7919;
-      Experiment exp(config);
-      if (row.n > 0) {
-        exp.CacheBackgroundApps(row.n);
-      }
-      // Measure 10 s with no FG app, like the paper's setup, after a settle.
-      exp.engine().RunFor(Sec(5));
-      size_t start_samples = exp.scheduler().utilization_per_second().size();
-      exp.engine().RunFor(Sec(10));
-      const auto& samples = exp.scheduler().utilization_per_second();
-      double peak = 0.0, sum = 0.0;
-      size_t n = 0;
-      for (size_t i = start_samples; i < samples.size(); ++i) {
-        peak = std::max(peak, samples[i]);
-        sum += samples[i];
-        ++n;
-      }
-      avgs.push_back(n ? sum / n : 0.0);
-      peaks.push_back(peak);
+    for (size_t r = 0; r < seeds.size(); ++r) {
+      const auto& o = outcomes[row * seeds.size() + r];
+      ICE_CHECK(o.ok) << "cell failed: " << o.error;
+      avgs.push_back(o.value.avg);
+      peaks.push_back(o.value.peak);
     }
-    table.AddRow({std::to_string(row.n), std::to_string(row.avg_pct) + "%",
-                  std::to_string(row.peak_pct) + "%", Table::Pct(Mean(avgs), 0),
+    table.AddRow({std::to_string(kPaper[row].n), std::to_string(kPaper[row].avg_pct) + "%",
+                  std::to_string(kPaper[row].peak_pct) + "%", Table::Pct(Mean(avgs), 0),
                   Table::Pct(Mean(peaks), 0)});
   }
   table.Print();

@@ -3,16 +3,29 @@
 // for quick A/B checks without writing code.
 //
 //   $ ./icesim_cli --device=p20 --scheme=ice --scenario=s-b --bg=8
-//   $ ./icesim_cli --device=pixel3 --scheme=lru_cfs --scenario=s-d \
+//   $ ./icesim_cli --device=pixel3 --scheme=lru_cfs --scenario=s-d
 //         --bg=6 --duration=60 --warmup=300 --seed=7
+//
+// With --sweep, the list-valued flags (--device, --scheme, --scenario,
+// --bg, --seed: comma-separated) form a grid that runs on a worker pool
+// (--jobs) and is exported as JSON (--out names the report; see README
+// "Running sweeps" for the schema):
+//
+//   $ ./icesim_cli --sweep --jobs=8 --scheme=lru_cfs,ice
+//         --scenario=s-a,s-b,s-c,s-d --seed=1,2,3 --out=grid
 //   $ ./icesim_cli --help
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/harness/experiment.h"
+#include "src/harness/sweep.h"
+#include "src/harness/sweep_report.h"
+#include "src/ice/daemon.h"
 #include "src/metrics/report.h"
+#include "src/policy/registry.h"
 
 namespace {
 
@@ -22,11 +35,14 @@ struct CliOptions {
   std::string device = "p20";
   std::string scheme = "lru_cfs";
   std::string scenario = "s-b";
-  int bg = -1;  // -1 = the device's full-pressure count.
+  std::string bg = "-1";  // -1 = the device's full-pressure count.
   int duration_s = 30;
   int warmup_s = 240;
-  uint64_t seed = 42;
+  std::string seed = "42";
   bool series = false;
+  bool sweep = false;
+  int jobs = 0;  // 0 = ICE_JOBS env or hardware concurrency.
+  std::string out = "cli_sweep";
 };
 
 void PrintHelp() {
@@ -39,7 +55,13 @@ void PrintHelp() {
       "  --duration=SECONDS       measurement window (default 30)\n"
       "  --warmup=SECONDS         pre-measurement warmup (default 240)\n"
       "  --seed=N                 rng seed (default 42)\n"
-      "  --series                 also print the per-second FPS series\n");
+      "  --series                 also print the per-second FPS series\n"
+      "\nsweep mode:\n"
+      "  --sweep                  run the cross product of the list-valued flags\n"
+      "                           (--device/--scheme/--scenario/--bg/--seed take\n"
+      "                           comma-separated lists) on a worker pool\n"
+      "  --jobs=N                 sweep workers (default: ICE_JOBS or all cores)\n"
+      "  --out=NAME               JSON report name: results/NAME.json\n");
 }
 
 bool ParseArg(const char* arg, const char* key, std::string* out) {
@@ -49,6 +71,21 @@ bool ParseArg(const char* arg, const char* key, std::string* out) {
     return true;
   }
   return false;
+}
+
+std::vector<std::string> SplitList(const std::string& csv) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(csv.substr(start));
+      break;
+    }
+    out.push_back(csv.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
 }
 
 ScenarioKind KindFromName(const std::string& name) {
@@ -68,6 +105,81 @@ ScenarioKind KindFromName(const std::string& name) {
   std::exit(2);
 }
 
+DeviceProfile DeviceFromName(const std::string& name) {
+  if (name == "p20") {
+    return P20Profile();
+  }
+  if (name == "pixel3") {
+    return Pixel3Profile();
+  }
+  std::fprintf(stderr, "unknown device '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+int RunSweep(const CliOptions& opts) {
+  SweepAxes axes;
+  for (const std::string& d : SplitList(opts.device)) {
+    axes.devices.push_back(DeviceFromName(d));
+  }
+  axes.schemes = SplitList(opts.scheme);
+  RegisterIceScheme();  // validate scheme names before the workers start
+  for (const std::string& s : axes.schemes) {
+    if (!SchemeRegistry::Instance().Contains(s)) {
+      std::fprintf(stderr, "unknown scheme '%s' (known:", s.c_str());
+      for (const std::string& k : SchemeRegistry::Instance().Keys()) {
+        std::fprintf(stderr, " %s", k.c_str());
+      }
+      std::fprintf(stderr, ")\n");
+      return 2;
+    }
+  }
+  for (const std::string& s : SplitList(opts.scenario)) {
+    axes.scenarios.push_back(KindFromName(s));
+  }
+  for (const std::string& b : SplitList(opts.bg)) {
+    axes.bg_counts.push_back(std::atoi(b.c_str()));
+  }
+  for (const std::string& s : SplitList(opts.seed)) {
+    axes.seeds.push_back(std::strtoull(s.c_str(), nullptr, 10));
+  }
+  axes.duration = Sec(static_cast<uint64_t>(opts.duration_s));
+  axes.warmup = Sec(static_cast<uint64_t>(opts.warmup_s));
+
+  SweepRunner runner(opts.jobs);
+  std::vector<SweepCell> cells = axes.Cells();
+  std::printf("icesim sweep: %zu cells on %d workers\n", cells.size(), runner.jobs());
+  std::vector<CellOutcome> outcomes = runner.Run(cells);
+
+  Table table({"device", "scheme", "scenario", "bg", "seed", "fps", "RIA", "refaults",
+               "reclaims", "CPU"});
+  int failures = 0;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const SweepCell& cell = cells[i];
+    int bg = cell.bg_apps >= 0 ? cell.bg_apps : cell.config.device.full_pressure_bg_apps;
+    if (!outcomes[i].ok) {
+      ++failures;
+      table.AddRow({cell.config.device.name, cell.config.scheme,
+                    ScenarioLabel(cell.scenario), std::to_string(bg),
+                    std::to_string(cell.config.seed), "FAILED: " + outcomes[i].error, "-",
+                    "-", "-", "-"});
+      continue;
+    }
+    const ScenarioResult& r = outcomes[i].value;
+    table.AddRow({cell.config.device.name, cell.config.scheme,
+                  ScenarioLabel(cell.scenario), std::to_string(bg),
+                  std::to_string(cell.config.seed), Table::Num(r.avg_fps),
+                  Table::Pct(r.ria, 0), std::to_string(r.refaults),
+                  std::to_string(r.reclaims), Table::Pct(r.cpu_util, 0)});
+  }
+  table.Print();
+
+  std::string path = WriteSweepReport(opts.out, runner.jobs(), cells, outcomes);
+  if (!path.empty()) {
+    std::printf("report: %s\n", path.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -79,6 +191,8 @@ int main(int argc, char** argv) {
       return 0;
     } else if (std::strcmp(argv[i], "--series") == 0) {
       opts.series = true;
+    } else if (std::strcmp(argv[i], "--sweep") == 0) {
+      opts.sweep = true;
     } else if (ParseArg(argv[i], "--device", &value)) {
       opts.device = value;
     } else if (ParseArg(argv[i], "--scheme", &value)) {
@@ -86,36 +200,38 @@ int main(int argc, char** argv) {
     } else if (ParseArg(argv[i], "--scenario", &value)) {
       opts.scenario = value;
     } else if (ParseArg(argv[i], "--bg", &value)) {
-      opts.bg = std::atoi(value.c_str());
+      opts.bg = value;
     } else if (ParseArg(argv[i], "--duration", &value)) {
       opts.duration_s = std::atoi(value.c_str());
     } else if (ParseArg(argv[i], "--warmup", &value)) {
       opts.warmup_s = std::atoi(value.c_str());
     } else if (ParseArg(argv[i], "--seed", &value)) {
-      opts.seed = std::strtoull(value.c_str(), nullptr, 10);
+      opts.seed = value;
+    } else if (ParseArg(argv[i], "--jobs", &value)) {
+      opts.jobs = std::atoi(value.c_str());
+    } else if (ParseArg(argv[i], "--out", &value)) {
+      opts.out = value;
     } else {
       std::fprintf(stderr, "unknown flag '%s' (try --help)\n", argv[i]);
       return 2;
     }
   }
 
-  ExperimentConfig config;
-  if (opts.device == "p20") {
-    config.device = P20Profile();
-  } else if (opts.device == "pixel3") {
-    config.device = Pixel3Profile();
-  } else {
-    std::fprintf(stderr, "unknown device '%s'\n", opts.device.c_str());
-    return 2;
+  if (opts.sweep) {
+    return RunSweep(opts);
   }
+
+  ExperimentConfig config;
+  config.device = DeviceFromName(opts.device);
   config.scheme = opts.scheme;
-  config.seed = opts.seed;
+  config.seed = std::strtoull(opts.seed.c_str(), nullptr, 10);
   ScenarioKind kind = KindFromName(opts.scenario);
-  int bg = opts.bg >= 0 ? opts.bg : config.device.full_pressure_bg_apps;
+  int bg_opt = std::atoi(opts.bg.c_str());
+  int bg = bg_opt >= 0 ? bg_opt : config.device.full_pressure_bg_apps;
 
   std::printf("icesim: %s on %s, scheme=%s, %d BG apps, %ds after %ds warmup, seed=%llu\n",
               ScenarioName(kind), config.device.name.c_str(), opts.scheme.c_str(), bg,
-              opts.duration_s, opts.warmup_s, static_cast<unsigned long long>(opts.seed));
+              opts.duration_s, opts.warmup_s, static_cast<unsigned long long>(config.seed));
 
   Experiment exp(config);
   Uid fg = exp.UidOf(ScenarioPackage(kind));

@@ -1,12 +1,14 @@
 #include "src/base/log.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace ice {
 
 namespace {
-LogLevel g_level = LogLevel::kWarning;
+// Atomic: sweep worker threads read the level while logging concurrently.
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
 
 const char* LevelName(LogLevel level) {
   switch (level) {

@@ -1,0 +1,116 @@
+// Parallel sweep runner for the experiment harness.
+//
+// Every figure and ablation in the paper is a grid of independent runs —
+// scheme × scenario × background-app count × seed. Each cell owns its own
+// Engine, Rng and StatsRegistry, so the grid is embarrassingly parallel.
+// SweepRunner fans cells out to a worker pool and returns results in
+// deterministic grid order regardless of scheduling: the metrics of a cell
+// depend only on its own config (and seed), never on which thread ran it or
+// in what order, so a parallel sweep is bit-for-bit identical to a serial
+// one. CI asserts this invariant (tests/harness/sweep_test.cc).
+#ifndef SRC_HARNESS_SWEEP_H_
+#define SRC_HARNESS_SWEEP_H_
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/harness/experiment.h"
+
+namespace ice {
+
+// One fully-specified cell: an experiment configuration plus the scenario
+// window to measure. `config.seed` carries the per-cell seed.
+struct SweepCell {
+  ExperimentConfig config;
+  ScenarioKind scenario = ScenarioKind::kShortVideo;
+  int bg_apps = 0;  // -1 = the device's full-pressure count.
+  SimDuration duration = Sec(30);
+  SimDuration warmup = Sec(240);
+};
+
+// Declarative grid specification. The cross product enumerates cells in
+// row-major order with `devices` slowest and `seeds` fastest, which fixes
+// the result ordering for reports and comparisons.
+struct SweepAxes {
+  std::vector<DeviceProfile> devices;
+  std::vector<std::string> schemes;
+  std::vector<ScenarioKind> scenarios;
+  std::vector<int> bg_counts;  // -1 = device full-pressure count.
+  std::vector<uint64_t> seeds;
+  SimDuration duration = Sec(30);
+  SimDuration warmup = Sec(240);
+  // Applied to every cell before the per-axis fields; lets callers sweep
+  // IceConfig knobs (ablations) while keeping the grid declarative.
+  ExperimentConfig base;
+
+  std::vector<SweepCell> Cells() const;
+  // Flat index of (device, scheme, scenario, bg, seed) into Cells().
+  size_t Index(size_t device, size_t scheme, size_t scenario, size_t bg,
+               size_t seed) const;
+  size_t size() const {
+    return devices.size() * schemes.size() * scenarios.size() * bg_counts.size() *
+           seeds.size();
+  }
+};
+
+// Result slot for one unit of sweep work. A cell whose body throws is
+// reported here (ok = false, error = what()) without poisoning siblings.
+template <typename T>
+struct SweepOutcome {
+  T value{};
+  bool ok = false;
+  std::string error;
+};
+
+using CellOutcome = SweepOutcome<ScenarioResult>;
+
+// Worker count: ICE_JOBS env override, else hardware concurrency (min 1).
+int DefaultSweepJobs();
+
+class SweepRunner {
+ public:
+  // jobs <= 0 selects DefaultSweepJobs().
+  explicit SweepRunner(int jobs = 0);
+
+  int jobs() const { return jobs_; }
+
+  // Deterministic parallel map: runs fn(i) for i in [0, n) on the pool and
+  // returns outcomes indexed by i, independent of scheduling. fn must not
+  // touch shared mutable state (each sweep cell builds its own Experiment).
+  template <typename T>
+  std::vector<SweepOutcome<T>> Map(size_t n, const std::function<T(size_t)>& fn) const {
+    std::vector<SweepOutcome<T>> out(n);
+    Dispatch(n, [&](size_t i) {
+      try {
+        out[i].value = fn(i);
+        out[i].ok = true;
+      } catch (const std::exception& e) {
+        out[i].error = e.what();
+      } catch (...) {
+        out[i].error = "unknown exception";
+      }
+    });
+    return out;
+  }
+
+  // Runs every cell through RunCell on the pool.
+  std::vector<CellOutcome> Run(const std::vector<SweepCell>& cells) const;
+
+  // The canonical cell body shared by benches, the CLI and tests: build an
+  // isolated Experiment, cache the background apps, run the scenario.
+  static ScenarioResult RunCell(const SweepCell& cell);
+
+ private:
+  // Runs task(i) for all i; task is expected not to throw.
+  void Dispatch(size_t n, const std::function<void(size_t)>& task) const;
+
+  int jobs_;
+};
+
+}  // namespace ice
+
+#endif  // SRC_HARNESS_SWEEP_H_

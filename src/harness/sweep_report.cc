@@ -1,0 +1,123 @@
+#include "src/harness/sweep_report.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/base/log.h"
+
+namespace ice {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// %.17g round-trips an IEEE double exactly, so reports are byte-identical
+// across runs whenever the metrics are.
+std::string JsonNum(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void AppendCell(std::ostringstream& out, const SweepCell& cell,
+                const CellOutcome& outcome) {
+  const ExperimentConfig& c = cell.config;
+  int bg = cell.bg_apps >= 0 ? cell.bg_apps : c.device.full_pressure_bg_apps;
+  out << "    {\"device\": \"" << JsonEscape(c.device.name) << "\""
+      << ", \"scheme\": \"" << JsonEscape(c.scheme) << "\""
+      << ", \"scenario\": \"" << ScenarioLabel(cell.scenario) << "\""
+      << ", \"bg_apps\": " << bg << ", \"seed\": " << c.seed
+      << ", \"duration_s\": " << JsonNum(ToSeconds(cell.duration))
+      << ", \"warmup_s\": " << JsonNum(ToSeconds(cell.warmup))
+      << ", \"ok\": " << (outcome.ok ? "true" : "false");
+  if (!outcome.ok) {
+    out << ", \"error\": \"" << JsonEscape(outcome.error) << "\"}";
+    return;
+  }
+  const ScenarioResult& r = outcome.value;
+  out << ", \"metrics\": {\"avg_fps\": " << JsonNum(r.avg_fps)
+      << ", \"ria\": " << JsonNum(r.ria) << ", \"reclaims\": " << r.reclaims
+      << ", \"refaults\": " << r.refaults << ", \"refaults_bg\": " << r.refaults_bg
+      << ", \"refaults_fg\": " << r.refaults_fg
+      << ", \"io_requests\": " << r.io_requests << ", \"io_bytes\": " << r.io_bytes
+      << ", \"cpu_util\": " << JsonNum(r.cpu_util) << ", \"freezes\": " << r.freezes
+      << ", \"thaws\": " << r.thaws << ", \"lmk_kills\": " << r.lmk_kills
+      << ", \"fps_series\": [";
+  for (size_t i = 0; i < r.fps_series.size(); ++i) {
+    if (i > 0) {
+      out << ", ";
+    }
+    out << JsonNum(r.fps_series[i]);
+  }
+  out << "]}}";
+}
+
+}  // namespace
+
+std::string SweepReportJson(const std::string& name, int jobs,
+                            const std::vector<SweepCell>& cells,
+                            const std::vector<CellOutcome>& outcomes) {
+  ICE_CHECK_EQ(cells.size(), outcomes.size());
+  std::ostringstream out;
+  out << "{\n  \"sweep\": \"" << JsonEscape(name) << "\",\n"
+      << "  \"jobs\": " << jobs << ",\n"
+      << "  \"cells\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    AppendCell(out, cells[i], outcomes[i]);
+    out << (i + 1 < cells.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+std::string WriteSweepReport(const std::string& name, int jobs,
+                             const std::vector<SweepCell>& cells,
+                             const std::vector<CellOutcome>& outcomes,
+                             const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    ICE_LOG(kError) << "cannot create " << dir << ": " << ec.message();
+    return "";
+  }
+  std::string path = dir + "/" + name + ".json";
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    ICE_LOG(kError) << "cannot open " << path;
+    return "";
+  }
+  file << SweepReportJson(name, jobs, cells, outcomes);
+  return path;
+}
+
+}  // namespace ice

@@ -1,0 +1,31 @@
+// Machine-readable export for sweep results: one JSON file per sweep under
+// results/, so figures and regression checks can be rebuilt without
+// re-running the grid. The schema is documented in README.md ("Running
+// sweeps"); doubles are printed with %.17g so a report round-trips the exact
+// values and two deterministic runs produce byte-identical files.
+#ifndef SRC_HARNESS_SWEEP_REPORT_H_
+#define SRC_HARNESS_SWEEP_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/harness/sweep.h"
+
+namespace ice {
+
+// Serializes one sweep (grid + per-cell outcomes) to a JSON string.
+// `cells` and `outcomes` must be parallel vectors in grid order.
+std::string SweepReportJson(const std::string& name, int jobs,
+                            const std::vector<SweepCell>& cells,
+                            const std::vector<CellOutcome>& outcomes);
+
+// Writes the report to `<dir>/<name>.json`, creating `dir` if needed.
+// Returns the written path (empty on I/O failure).
+std::string WriteSweepReport(const std::string& name, int jobs,
+                             const std::vector<SweepCell>& cells,
+                             const std::vector<CellOutcome>& outcomes,
+                             const std::string& dir = "results");
+
+}  // namespace ice
+
+#endif  // SRC_HARNESS_SWEEP_REPORT_H_

@@ -20,6 +20,7 @@ SchemeRegistry::SchemeRegistry() {
 }
 
 void SchemeRegistry::Register(const std::string& key, Factory factory) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [k, f] : factories_) {
     if (k == key) {
       f = std::move(factory);  // Re-registration overrides.
@@ -30,16 +31,25 @@ void SchemeRegistry::Register(const std::string& key, Factory factory) {
 }
 
 std::unique_ptr<Scheme> SchemeRegistry::Create(const std::string& key) const {
-  for (const auto& [k, f] : factories_) {
-    if (k == key) {
-      return f();
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [k, f] : factories_) {
+      if (k == key) {
+        factory = f;
+        break;
+      }
     }
+  }
+  if (factory) {
+    return factory();
   }
   ICE_CHECK(false) << "unknown scheme '" << key << "'";
   return nullptr;
 }
 
 bool SchemeRegistry::Contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [k, f] : factories_) {
     if (k == key) {
       return true;
@@ -49,6 +59,7 @@ bool SchemeRegistry::Contains(const std::string& key) const {
 }
 
 std::vector<std::string> SchemeRegistry::Keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> keys;
   keys.reserve(factories_.size());
   for (const auto& [k, f] : factories_) {

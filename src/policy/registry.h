@@ -6,6 +6,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,8 @@
 
 namespace ice {
 
+// Thread-safe: sweep workers construct Experiments (which re-register the
+// ICE scheme) and create schemes concurrently.
 class SchemeRegistry {
  public:
   using Factory = std::function<std::unique_ptr<Scheme>()>;
@@ -29,6 +32,7 @@ class SchemeRegistry {
 
  private:
   SchemeRegistry();
+  mutable std::mutex mu_;
   std::vector<std::pair<std::string, Factory>> factories_;
 };
 
