@@ -2,13 +2,18 @@
 //  * mapping-table indexing (paper: one lookup completes at µs level);
 //  * refault-event handling end to end (detection -> sift -> freeze);
 //  * memory-consumption accounting (paper: <= 32 KB, ten-KB level).
+//  * tracing: hot-path cost with the tracer disabled (must be one branch)
+//    and the cost of one Emit into the ring.
 #include <benchmark/benchmark.h>
 
 #include "src/base/rng.h"
 #include "src/ice/mapping_table.h"
 #include "src/ice/whitelist.h"
 #include "src/mem/address_space.h"
+#include "src/mem/memory_manager.h"
 #include "src/mem/shadow.h"
+#include "src/trace/trace.h"
+#include "src/trace/tracer.h"
 
 namespace ice {
 namespace {
@@ -78,6 +83,71 @@ void BM_ShadowRefaultDispatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ShadowRefaultDispatch);
+
+// The page-access hot path with tracing runtime-disabled (null tracer): the
+// acceptance budget is <1% over a build with ICE_TRACE compiled out, since
+// every ICE_TRACE site reduces to a single pointer test.
+void BM_AccessHitTraceDisabled(benchmark::State& state) {
+  Engine engine(1);
+  MemConfig config;
+  config.total_pages = 8000;
+  config.os_reserved_pages = 200;
+  config.reclaim_contention_mean = 0;
+  MemoryManager mm(engine, config, nullptr);
+  AddressSpaceLayout layout;
+  layout.native_pages = 1024;
+  AddressSpace space(1, 10001, "bench", layout);
+  mm.Register(space);
+  for (uint32_t vpn = 0; vpn < 1024; ++vpn) {
+    mm.Access(space, vpn, false, nullptr);
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    uint32_t vpn = rng.Below(1024);
+    benchmark::DoNotOptimize(mm.Access(space, vpn, false, nullptr));
+  }
+  mm.Release(space);
+}
+BENCHMARK(BM_AccessHitTraceDisabled);
+
+// Same hot path with a tracer installed: page_evict/refault sites live on
+// this path only under pressure, so a hit stays emit-free — the delta over
+// the disabled case is the per-site branch cost alone.
+void BM_AccessHitTraceEnabled(benchmark::State& state) {
+  Engine engine(1);
+  Tracer tracer(4);
+  engine.set_tracer(&tracer);
+  MemConfig config;
+  config.total_pages = 8000;
+  config.os_reserved_pages = 200;
+  config.reclaim_contention_mean = 0;
+  MemoryManager mm(engine, config, nullptr);
+  AddressSpaceLayout layout;
+  layout.native_pages = 1024;
+  AddressSpace space(1, 10001, "bench", layout);
+  mm.Register(space);
+  for (uint32_t vpn = 0; vpn < 1024; ++vpn) {
+    mm.Access(space, vpn, false, nullptr);
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    uint32_t vpn = rng.Below(1024);
+    benchmark::DoNotOptimize(mm.Access(space, vpn, false, nullptr));
+  }
+  mm.Release(space);
+}
+BENCHMARK(BM_AccessHitTraceEnabled);
+
+// Cost of one Emit into the ring (the steady state is overwrite-oldest).
+void BM_TraceEmit(benchmark::State& state) {
+  Tracer tracer(1);
+  SimTime ts = 0;
+  for (auto _ : state) {
+    tracer.Emit(++ts, TraceEventType::kPageEvict, {.uid = 10001, .arg0 = ts});
+  }
+  state.counters["dropped"] = static_cast<double>(tracer.dropped());
+}
+BENCHMARK(BM_TraceEmit);
 
 void BM_MappingTableFootprint(benchmark::State& state) {
   // Not a timing benchmark per se: reports the table's memory footprint as

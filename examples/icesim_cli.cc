@@ -26,6 +26,8 @@
 #include "src/ice/daemon.h"
 #include "src/metrics/report.h"
 #include "src/policy/registry.h"
+#include "src/trace/chrome_export.h"
+#include "src/trace/summary.h"
 
 namespace {
 
@@ -43,6 +45,9 @@ struct CliOptions {
   bool sweep = false;
   int jobs = 0;  // 0 = ICE_JOBS env or hardware concurrency.
   std::string out = "cli_sweep";
+  bool trace = false;
+  std::string trace_path = "results/trace.json";
+  uint32_t trace_buffer_pages = kDefaultTraceBufferPages;
 };
 
 void PrintHelp() {
@@ -56,6 +61,12 @@ void PrintHelp() {
       "  --warmup=SECONDS         pre-measurement warmup (default 240)\n"
       "  --seed=N                 rng seed (default 42)\n"
       "  --series                 also print the per-second FPS series\n"
+      "  --trace[=PATH]           record a simtrace; single runs export Chrome\n"
+      "                           trace_event JSON (default results/trace.json,\n"
+      "                           open with Perfetto), sweeps fold a per-cell\n"
+      "                           trace summary into the report\n"
+      "  --trace-buffer-pages=N   ring capacity in 4 KiB pages (default 1024;\n"
+      "                           overflow drops the oldest events)\n"
       "\nsweep mode:\n"
       "  --sweep                  run the cross product of the list-valued flags\n"
       "                           (--device/--scheme/--scenario/--bg/--seed take\n"
@@ -144,6 +155,11 @@ int RunSweep(const CliOptions& opts) {
   }
   axes.duration = Sec(static_cast<uint64_t>(opts.duration_s));
   axes.warmup = Sec(static_cast<uint64_t>(opts.warmup_s));
+  if (opts.trace) {
+    // Per-cell tracers; each cell's summary lands in the JSON report.
+    axes.base.trace = true;
+    axes.base.trace_buffer_pages = opts.trace_buffer_pages;
+  }
 
   SweepRunner runner(opts.jobs);
   std::vector<SweepCell> cells = axes.Cells();
@@ -211,6 +227,13 @@ int main(int argc, char** argv) {
       opts.jobs = std::atoi(value.c_str());
     } else if (ParseArg(argv[i], "--out", &value)) {
       opts.out = value;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      opts.trace = true;
+    } else if (ParseArg(argv[i], "--trace-buffer-pages", &value)) {
+      opts.trace_buffer_pages = static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (ParseArg(argv[i], "--trace", &value)) {
+      opts.trace = true;
+      opts.trace_path = value;
     } else {
       std::fprintf(stderr, "unknown flag '%s' (try --help)\n", argv[i]);
       return 2;
@@ -225,6 +248,8 @@ int main(int argc, char** argv) {
   config.device = DeviceFromName(opts.device);
   config.scheme = opts.scheme;
   config.seed = std::strtoull(opts.seed.c_str(), nullptr, 10);
+  config.trace = opts.trace;
+  config.trace_buffer_pages = opts.trace_buffer_pages;
   ScenarioKind kind = KindFromName(opts.scenario);
   int bg_opt = std::atoi(opts.bg.c_str());
   int bg = bg_opt >= 0 ? bg_opt : config.device.full_pressure_bg_apps;
@@ -267,6 +292,18 @@ int main(int argc, char** argv) {
       std::printf("%.0f ", f);
     }
     std::printf("\n");
+  }
+
+  if (opts.trace && exp.tracer() != nullptr) {
+    std::string path = WriteChromeTrace(opts.trace_path, *exp.tracer());
+    if (path.empty()) {
+      std::fprintf(stderr, "trace export failed: %s\n", opts.trace_path.c_str());
+      return 1;
+    }
+    const Tracer& t = *exp.tracer();
+    std::printf("trace: %s (%llu events emitted, %zu retained, %llu dropped)\n",
+                path.c_str(), static_cast<unsigned long long>(t.emitted()), t.retained(),
+                static_cast<unsigned long long>(t.dropped()));
   }
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/base/log.h"
+#include "src/trace/trace.h"
 
 namespace ice {
 
@@ -40,6 +41,8 @@ void Choreographer::OnVsync() {
   if (render->pending() >= kMaxPipelineDepth) {
     // Pipeline saturated: this vsync produces no frame.
     stats_.RecordDropped(engine.now());
+    ICE_TRACE(engine, TraceEventType::kFrameDeadlineMiss,
+              {.uid = fg->uid(), .flags = kTraceFlagDropped, .arg0 = frame_seq_});
     return;
   }
   std::optional<FrameWork> frame = source_->NextFrame(engine.now());
@@ -53,8 +56,19 @@ void Choreographer::OnVsync() {
   item.space = frame->space;
   item.write = false;
   SimTime enqueue = engine.now();
-  item.on_complete = [this, enqueue]() {
-    stats_.RecordFrame(enqueue, am_.engine().now());
+  uint64_t seq = ++frame_seq_;
+  Uid fg_uid = fg->uid();
+  ICE_TRACE(engine, TraceEventType::kFrameBegin, {.uid = fg_uid, .arg0 = seq});
+  item.on_complete = [this, enqueue, seq, fg_uid]() {
+    SimTime done = am_.engine().now();
+    stats_.RecordFrame(enqueue, done);
+    SimDuration latency = done - enqueue;
+    ICE_TRACE(am_.engine(), TraceEventType::kFrameEnd,
+              {.uid = fg_uid, .arg0 = seq, .arg1 = latency});
+    if (latency > kVsyncPeriod) {
+      ICE_TRACE(am_.engine(), TraceEventType::kFrameDeadlineMiss,
+                {.uid = fg_uid, .arg0 = seq, .arg1 = latency});
+    }
   };
   render->Push(std::move(item));
 }

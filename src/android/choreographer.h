@@ -58,6 +58,9 @@ class Choreographer {
   FrameStats stats_;
   bool started_ = false;
   EventId next_vsync_ = kInvalidEventId;
+  // Monotonic frame id for trace correlation; advances for every issued
+  // frame regardless of tracing so traced runs replay identically.
+  uint64_t frame_seq_ = 0;
 };
 
 }  // namespace ice

@@ -46,6 +46,16 @@ namespace stat {
 inline constexpr const char* kPagesReclaimed = "mem.pages_reclaimed";
 inline constexpr const char* kPagesReclaimedAnon = "mem.pages_reclaimed_anon";
 inline constexpr const char* kPagesReclaimedFile = "mem.pages_reclaimed_file";
+// kswapd vs direct-reclaim attribution (vmstat's pgsteal_kswapd/_direct
+// analog), per pool and total. The "kswapd" buckets cover every non-direct
+// context (kswapd batches and per-process reclaim); Fig 10's breakdown and
+// the reclaim_begin/end trace events rely on the split.
+inline constexpr const char* kPagesReclaimedKswapd = "mem.pages_reclaimed_kswapd";
+inline constexpr const char* kPagesReclaimedDirect = "mem.pages_reclaimed_direct";
+inline constexpr const char* kPagesReclaimedAnonKswapd = "mem.pages_reclaimed_anon_kswapd";
+inline constexpr const char* kPagesReclaimedAnonDirect = "mem.pages_reclaimed_anon_direct";
+inline constexpr const char* kPagesReclaimedFileKswapd = "mem.pages_reclaimed_file_kswapd";
+inline constexpr const char* kPagesReclaimedFileDirect = "mem.pages_reclaimed_file_direct";
 inline constexpr const char* kRefaults = "mem.refaults";
 inline constexpr const char* kRefaultsFg = "mem.refaults_fg";
 inline constexpr const char* kRefaultsBg = "mem.refaults_bg";

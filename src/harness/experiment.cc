@@ -16,6 +16,12 @@ Experiment::Experiment(const ExperimentConfig& config) : config_(config) {
   }
 
   engine_ = std::make_unique<Engine>(config_.seed);
+  if (config_.trace) {
+    // Install before any subsystem exists so task creation can register
+    // names and no early event is missed.
+    tracer_ = std::make_unique<Tracer>(config_.trace_buffer_pages);
+    engine_->set_tracer(tracer_.get());
+  }
   storage_ = std::make_unique<BlockDevice>(*engine_, config_.device.flash);
   mm_ = std::make_unique<MemoryManager>(*engine_, config_.device.mem, storage_.get());
   scheduler_ = std::make_unique<Scheduler>(*engine_, *mm_, config_.device.num_cores);
@@ -159,6 +165,9 @@ ScenarioResult Experiment::RunScenarioForApp(Uid uid, ScenarioKind kind,
   uint64_t cap = scheduler_->capacity_us() - cap_before;
   result.cpu_util =
       cap == 0 ? 0.0 : static_cast<double>(scheduler_->busy_us() - busy_before) / cap;
+  if (tracer_ != nullptr) {
+    result.trace = SummarizeTrace(*tracer_);
+  }
   return result;
 }
 

@@ -23,6 +23,8 @@
 #include "src/proc/scheduler.h"
 #include "src/sim/engine.h"
 #include "src/storage/block_device.h"
+#include "src/trace/summary.h"
+#include "src/trace/tracer.h"
 #include "src/workload/app_catalog.h"
 #include "src/workload/scenario.h"
 
@@ -39,6 +41,10 @@ struct ExperimentConfig {
   SystemServicesConfig services;
   // Optional override of ICE parameters (used by the MDT ablation).
   IceConfig ice;
+  // Tracing (ftrace-style ring buffer; see src/trace/). Off by default:
+  // a null tracer keeps every ICE_TRACE site to a single branch.
+  bool trace = false;
+  uint32_t trace_buffer_pages = kDefaultTraceBufferPages;
 
   ExperimentConfig() : device(P20Profile()) {}
 };
@@ -58,6 +64,8 @@ struct ScenarioResult {
   uint64_t freezes = 0;
   uint64_t thaws = 0;
   uint64_t lmk_kills = 0;
+  // Filled from the experiment's tracer when tracing is enabled.
+  TraceSummary trace;
 };
 
 class Experiment {
@@ -77,6 +85,8 @@ class Experiment {
   ActivityManager& am() { return *am_; }
   Choreographer& choreographer() { return *choreographer_; }
   Scheme& scheme() { return *scheme_; }
+  // Null unless config.trace was set.
+  Tracer* tracer() { return tracer_.get(); }
   const ExperimentConfig& config() const { return config_; }
   const std::vector<CatalogApp>& catalog() const { return catalog_; }
 
@@ -105,6 +115,7 @@ class Experiment {
  private:
   ExperimentConfig config_;
   std::unique_ptr<Engine> engine_;
+  std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<BlockDevice> storage_;
   std::unique_ptr<MemoryManager> mm_;
   std::unique_ptr<Scheduler> scheduler_;

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "src/base/log.h"
+#include "src/trace/summary.h"
 
 namespace ice {
 
@@ -79,7 +80,11 @@ void AppendCell(std::ostringstream& out, const SweepCell& cell,
     }
     out << JsonNum(r.fps_series[i]);
   }
-  out << "]}}";
+  out << "]";
+  if (r.trace.enabled) {
+    out << ", \"trace\": " << TraceSummaryJson(r.trace);
+  }
+  out << "}}";
 }
 
 }  // namespace

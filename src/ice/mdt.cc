@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/base/log.h"
+#include "src/trace/trace.h"
 
 namespace ice {
 
@@ -14,6 +15,13 @@ Mdt::Mdt(const IceConfig& config, Engine& engine, MemoryManager& mm, Freezer& fr
                  ? config_.hwm_mib
                  : PagesToBytes(mm_.watermarks().high) / kMiB;
   ICE_CHECK_GT(hwm_mib_, 0u);
+  // Config sanity: the clamp below assumes a non-empty [min, max] interval, a
+  // positive thaw period for Eq. 1's R = E_f / E_t, and a finite δ >= 0.
+  ICE_CHECK_LE(config_.min_freeze, config_.max_freeze)
+      << "min_freeze must not exceed max_freeze";
+  ICE_CHECK_GT(config_.thaw_duration, 0u) << "thaw_duration must be positive";
+  ICE_CHECK(config_.delta >= 0.0 && std::isfinite(config_.delta))
+      << "delta must be finite and non-negative";
 }
 
 double Mdt::CurrentR() const {
@@ -26,8 +34,14 @@ double Mdt::CurrentR() const {
 }
 
 SimDuration Mdt::CurrentFreezeDuration() const {
+  // Clamp in double space BEFORE the integer cast: a large configured δ makes
+  // R · E_t exceed int64/uint64 range, and casting an out-of-range double to
+  // an integer is UB (and in practice produced garbage freeze durations).
   double ef = CurrentR() * static_cast<double>(config_.thaw_duration);
-  return std::clamp(static_cast<SimDuration>(ef), config_.min_freeze, config_.max_freeze);
+  double lo = static_cast<double>(config_.min_freeze);
+  double hi = static_cast<double>(config_.max_freeze);
+  ef = std::clamp(ef, lo, hi);
+  return static_cast<SimDuration>(ef);
 }
 
 void Mdt::Start() {
@@ -55,6 +69,7 @@ void Mdt::BeginFreezePeriod() {
   }
   // E_f is recomputed at the start of every epoch from current memory state.
   SimDuration ef = CurrentFreezeDuration();
+  ICE_TRACE(engine_, TraceEventType::kMdtEpoch, {.arg0 = ef, .arg1 = epochs_});
   engine_.ScheduleAfter(ef, [this]() { BeginThawPeriod(); });
 }
 

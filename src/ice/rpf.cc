@@ -4,6 +4,7 @@
 #include "src/ice/mdt.h"
 #include "src/proc/process.h"
 #include "src/proc/task.h"
+#include "src/trace/trace.h"
 
 namespace ice {
 
@@ -68,6 +69,7 @@ void Rpf::OnRefault(const RefaultEvent& event) {
   }
   table_.SetFrozen(uid, true);
   ++freezes_triggered_;
+  ICE_TRACE(am_.engine(), TraceEventType::kRpfTrigger, {.pid = event.pid, .uid = uid});
   if (mdt_ != nullptr) {
     mdt_->OnAppFrozen(uid);
   }

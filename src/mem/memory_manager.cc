@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/base/log.h"
+#include "src/trace/trace.h"
 
 namespace ice {
 
@@ -122,6 +123,8 @@ AccessOutcome MemoryManager::Access(AddressSpace& space, uint32_t vpn, bool writ
           config_.fault_fixed_cost + zram_.decompress_cost() + ContentionPenalty();
       outcome.refault = true;
       TakeFrame(space, outcome);
+      ICE_TRACE(engine_, TraceEventType::kZramDecompress,
+                {.pid = space.pid(), .uid = space.uid(), .arg0 = p.zram_bytes});
       zram_.Drop(&p);
       SyncZramFrames();
       engine_.stats().Increment(stat::kZramLoads);
@@ -205,6 +208,12 @@ AccessOutcome MemoryManager::Access(AddressSpace& space, uint32_t vpn, bool writ
 }
 
 void MemoryManager::RecordRefaultStats(const PageInfo& p, bool foreground) {
+  ICE_TRACE(engine_, TraceEventType::kRefault,
+            {.pid = p.owner->pid(),
+             .uid = p.owner->uid(),
+             .flags = (foreground ? kTraceFlagForeground : 0) |
+                      (IsAnon(p.kind) ? kTraceFlagAnon : 0),
+             .arg0 = p.vpn});
   StatsRegistry& st = engine_.stats();
   st.Increment(stat::kRefaults);
   st.Increment(foreground ? stat::kRefaultsFg : stat::kRefaultsBg);

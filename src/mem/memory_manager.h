@@ -69,8 +69,14 @@ struct MemConfig {
 
 struct ReclaimResult {
   PageCount reclaimed = 0;
+  // Per-pool attribution of `reclaimed` (anon + file == reclaimed).
+  PageCount reclaimed_anon = 0;
+  PageCount reclaimed_file = 0;
   PageCount scanned = 0;
   SimDuration cpu_us = 0;
+  // True when this batch ran in an allocating task's context (direct
+  // reclaim) rather than kswapd / per-process reclaim.
+  bool direct = false;
 };
 
 // What a memory access cost the caller and whether it must block.
@@ -172,9 +178,10 @@ class MemoryManager {
   // evicts up to `target` pages. Shared by kswapd and direct reclaim.
   ReclaimResult ReclaimBatch(PageCount target, bool direct);
 
-  // Evicts one isolated page. Returns false when it could not be evicted
-  // (zram full) — the page is put back on the LRU.
-  bool EvictPage(PageInfo* page, ReclaimResult& result);
+  // Evicts one isolated page, attributing it to kswapd or direct reclaim.
+  // Returns false when it could not be evicted (zram full) — the page is put
+  // back on the LRU.
+  bool EvictPage(PageInfo* page, ReclaimResult& result, bool direct);
 
   void MakePresent(PageInfo* page);
   void RecordRefaultStats(const PageInfo& page, bool foreground);

@@ -10,6 +10,7 @@
 
 #include "src/base/log.h"
 #include "src/mem/memory_manager.h"
+#include "src/trace/trace.h"
 
 namespace ice {
 
@@ -21,13 +22,15 @@ constexpr uint32_t kSwappiness = 100;
 }  // namespace
 
 ReclaimResult MemoryManager::ReclaimBatch(PageCount target, bool direct) {
-  (void)direct;
   ReclaimResult result;
+  result.direct = direct;
   if (target == 0 || spaces_.empty()) {
     return result;
   }
   ICE_CHECK(!in_reclaim_) << "reentrant reclaim";
   in_reclaim_ = true;
+  ICE_TRACE(engine_, TraceEventType::kReclaimBegin,
+            {.flags = direct ? kTraceFlagDirect : 0, .arg0 = target});
 
   // Total LRU size across spaces, for proportional pressure.
   uint64_t total_lru = 0;
@@ -35,14 +38,18 @@ ReclaimResult MemoryManager::ReclaimBatch(PageCount target, bool direct) {
     total_lru += space->lru().total_size();
   }
   if (total_lru == 0) {
+    ICE_TRACE(engine_, TraceEventType::kReclaimEnd,
+              {.flags = direct ? kTraceFlagDirect : 0, .arg0 = 0, .arg1 = 0});
     in_reclaim_ = false;
     return result;
   }
 
   bool anon_ok = zram_.HasRoom();
   size_t n = spaces_.size();
+  size_t spaces_scanned = 0;
   // Rotate the starting space so rounding leftovers spread fairly.
   for (size_t i = 0; i < n && result.reclaimed < target; ++i) {
+    spaces_scanned = i + 1;
     AddressSpace* space = spaces_[(reclaim_cursor_ + i) % n];
     LruLists& lru = space->lru();
     uint64_t space_lru = lru.total_size();
@@ -82,20 +89,29 @@ ReclaimResult MemoryManager::ReclaimBatch(PageCount target, bool direct) {
           lru.IsolateCandidates(plan.pool, want, want * 4, victim_filter_);
       result.scanned += candidates.size();
       for (PageInfo* page : candidates) {
-        EvictPage(page, result);
+        EvictPage(page, result, direct);
       }
     }
   }
-  reclaim_cursor_ = (reclaim_cursor_ + 1) % std::max<size_t>(1, n);
+  // Advance the cursor past the last space scanned: when the batch hit its
+  // target early, the next batch starts at the first unscanned space instead
+  // of re-draining the same early spaces every time. A full cycle (or a
+  // no-progress pass) still rotates by one so rounding leftovers spread.
+  size_t advance = spaces_scanned % n;
+  reclaim_cursor_ = (reclaim_cursor_ + std::max<size_t>(1, advance)) % n;
 
   result.cpu_us += result.scanned * config_.scan_cost + config_.reclaim_batch_overhead;
   FlushWritebackBatch();
 
+  ICE_TRACE(engine_, TraceEventType::kReclaimEnd,
+            {.flags = direct ? kTraceFlagDirect : 0,
+             .arg0 = result.reclaimed,
+             .arg1 = result.scanned});
   in_reclaim_ = false;
   return result;
 }
 
-bool MemoryManager::EvictPage(PageInfo* page, ReclaimResult& result) {
+bool MemoryManager::EvictPage(PageInfo* page, ReclaimResult& result, bool direct) {
   ICE_CHECK(page->state == PageState::kPresent);
   StatsRegistry& st = engine_.stats();
 
@@ -110,6 +126,11 @@ bool MemoryManager::EvictPage(PageInfo* page, ReclaimResult& result) {
     SyncZramFrames();
     st.Increment(stat::kZramStores);
     st.Increment(stat::kPagesReclaimedAnon);
+    st.Increment(direct ? stat::kPagesReclaimedAnonDirect
+                        : stat::kPagesReclaimedAnonKswapd);
+    ++result.reclaimed_anon;
+    ICE_TRACE(engine_, TraceEventType::kZramCompress,
+              {.uid = page->owner->uid(), .arg0 = page->zram_bytes});
   } else {
     if (page->dirty) {
       ++writeback_pending_;
@@ -123,6 +144,9 @@ bool MemoryManager::EvictPage(PageInfo* page, ReclaimResult& result) {
     }
     page->state = PageState::kOnFlash;
     st.Increment(stat::kPagesReclaimedFile);
+    st.Increment(direct ? stat::kPagesReclaimedFileDirect
+                        : stat::kPagesReclaimedFileKswapd);
+    ++result.reclaimed_file;
   }
 
   shadow_.RecordEviction(page);
@@ -132,6 +156,12 @@ bool MemoryManager::EvictPage(PageInfo* page, ReclaimResult& result) {
   ++free_pages_;
   ++result.reclaimed;
   st.Increment(stat::kPagesReclaimed);
+  st.Increment(direct ? stat::kPagesReclaimedDirect : stat::kPagesReclaimedKswapd);
+  ICE_TRACE(engine_, TraceEventType::kPageEvict,
+            {.uid = page->owner->uid(),
+             .flags = (IsAnon(page->kind) ? kTraceFlagAnon : 0) |
+                      (direct ? kTraceFlagDirect : 0),
+             .arg0 = page->vpn});
   return true;
 }
 
@@ -158,7 +188,9 @@ ReclaimResult MemoryManager::ReclaimAllOf(AddressSpace& space) {
     }
     ++result.scanned;
     space.lru().Remove(&page);
-    if (!EvictPage(&page, result)) {
+    // Per-process reclaim runs in a daemon context, not an allocating task's:
+    // attribute to the non-direct (kswapd-side) buckets.
+    if (!EvictPage(&page, result, /*direct=*/false)) {
       // Put back happened inside EvictPage (zram full); nothing more to do.
       continue;
     }

@@ -3,6 +3,7 @@
 #include "src/base/log.h"
 #include "src/proc/process.h"
 #include "src/proc/task.h"
+#include "src/trace/trace.h"
 
 namespace ice {
 
@@ -13,6 +14,7 @@ void Freezer::FreezeApp(App& app) {
   app.set_frozen(true);
   ++freeze_count_;
   engine_.stats().Increment(stat::kFreezes);
+  ICE_TRACE(engine_, TraceEventType::kFreeze, {.uid = app.uid()});
   for (Process* process : app.processes()) {
     for (Task* task : process->tasks()) {
       task->RequestFreeze();
@@ -27,6 +29,7 @@ void Freezer::ThawApp(App& app) {
   app.set_frozen(false);
   ++thaw_count_;
   engine_.stats().Increment(stat::kThaws);
+  ICE_TRACE(engine_, TraceEventType::kThaw, {.uid = app.uid()});
   for (Process* process : app.processes()) {
     for (Task* task : process->tasks()) {
       task->ThawNow();

@@ -6,6 +6,8 @@
 #include "src/base/log.h"
 #include "src/proc/behavior.h"
 #include "src/proc/process.h"
+#include "src/trace/trace.h"
+#include "src/trace/tracer.h"
 
 namespace ice {
 
@@ -28,6 +30,12 @@ Task* Scheduler::CreateTask(std::string name, Process* process, int nice,
   Task* raw = task.get();
   tasks_.push_back(std::move(task));
   live_tasks_.push_back(raw);
+  raw->set_trace_id(++task_seq_);
+#ifndef ICE_TRACE_DISABLED
+  if (Tracer* tracer = engine_.tracer()) {
+    tracer->RegisterTaskName(raw->trace_id(), raw->name());
+  }
+#endif
   if (process != nullptr) {
     process->AddTask(raw);
   }
@@ -65,6 +73,13 @@ void Scheduler::Tick(SimTime now) {
   capacity_us_ += static_cast<uint64_t>(num_cores_) * quantum;
   second_capacity_us_ += static_cast<uint64_t>(num_cores_) * quantum;
 
+#ifndef ICE_TRACE_DISABLED
+  Tracer* tracer = engine_.tracer();
+  if (tracer != nullptr) {
+    core_occupants_.assign(static_cast<size_t>(num_cores_), nullptr);
+  }
+#endif
+
   if (!run_queue_.empty()) {
     // Select up to num_cores tasks. Tasks repaying debt (mid non-preemptive
     // section) keep their cores; the rest are picked by minimum vruntime.
@@ -94,6 +109,11 @@ void Scheduler::Tick(SimTime now) {
       if (task->state() != TaskState::kRunnable) {
         continue;  // Frozen/killed by an earlier task this tick.
       }
+#ifndef ICE_TRACE_DISABLED
+      if (tracer != nullptr) {
+        core_occupants_[i] = task;
+      }
+#endif
       SimDuration budget = quantum;
       SimDuration busy = 0;
 
@@ -125,6 +145,27 @@ void Scheduler::Tick(SimTime now) {
       second_busy_us_ += busy;
     }
   }
+
+#ifndef ICE_TRACE_DISABLED
+  // One sched_switch per core whose occupant changed this quantum (trace id
+  // 0 = idle). Graveyarded tasks are never deallocated mid-simulation, so
+  // the stale pointers in core_last_ are safe to compare against.
+  if (tracer != nullptr) {
+    if (core_last_.size() != static_cast<size_t>(num_cores_)) {
+      core_last_.assign(static_cast<size_t>(num_cores_), nullptr);
+    }
+    for (int i = 0; i < num_cores_; ++i) {
+      const Task* occ = core_occupants_[i];
+      if (occ == core_last_[i]) {
+        continue;
+      }
+      core_last_[i] = occ;
+      int pid = (occ != nullptr && occ->process() != nullptr) ? occ->process()->pid() : -1;
+      ICE_TRACE(engine_, TraceEventType::kSchedSwitch,
+                {.pid = pid, .core = i, .arg0 = occ != nullptr ? occ->trace_id() : 0});
+    }
+  }
+#endif
 
   // Per-second utilization sampling for Table-1 style peak/average figures.
   if (now + quantum >= next_second_boundary_) {

@@ -82,6 +82,13 @@ class Scheduler : public Ticker {
 
   uint64_t min_vruntime_us_ = 0;
 
+  // Tracing: the task last seen on each core, so Tick emits one sched_switch
+  // per actual occupancy change (scratch vector avoids per-tick allocation).
+  // Touched only when the engine has a tracer installed.
+  std::vector<const Task*> core_last_;
+  std::vector<const Task*> core_occupants_;
+  uint64_t task_seq_ = 0;  // Source of stable per-task trace ids (1-based).
+
   friend class Task;
 };
 

@@ -64,6 +64,10 @@ class Task : public ListNode<RunQueueTag> {
   // True for kernel threads (kswapd, kworker): never frozen, never killed.
   bool is_kernel() const { return process_ == nullptr; }
 
+  // Stable creation-order id for sched_switch trace events (0 = unset/idle).
+  uint64_t trace_id() const { return trace_id_; }
+  void set_trace_id(uint64_t id) { trace_id_ = id; }
+
   // ---- State transitions ----------------------------------------------------
 
   // Makes a sleeping/blocked task runnable. On a frozen task the wake is
@@ -126,6 +130,7 @@ class Task : public ListNode<RunQueueTag> {
   uint64_t vruntime_us_ = 0;
   SimDuration debt_us_ = 0;
   SimDuration cpu_time_us_ = 0;
+  uint64_t trace_id_ = 0;
 
   EventId timer_event_ = kInvalidEventId;
   uint64_t timer_generation_ = 0;

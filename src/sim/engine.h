@@ -20,6 +20,8 @@
 
 namespace ice {
 
+class Tracer;
+
 class Ticker {
  public:
   virtual ~Ticker() = default;
@@ -43,6 +45,13 @@ class Engine {
   Rng& rng() { return rng_; }
   StatsRegistry& stats() { return stats_; }
 
+  // Optional trace sink (owned by the experiment). Null — the default —
+  // means tracing is off; ICE_TRACE call sites pay one branch and nothing
+  // else. The tracer must never influence simulation behavior: a traced run
+  // and an untraced run of the same seed are identical.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
+
   EventId ScheduleAt(SimTime when, std::function<void()> fn);
   EventId ScheduleAfter(SimDuration delay, std::function<void()> fn);
   bool Cancel(EventId id);
@@ -61,6 +70,7 @@ class Engine {
 
   SimTime now_ = 0;
   uint64_t ticks_ = 0;
+  Tracer* tracer_ = nullptr;
   Rng rng_;
   StatsRegistry stats_;
   EventQueue events_;

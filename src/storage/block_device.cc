@@ -3,8 +3,16 @@
 #include <utility>
 
 #include "src/base/log.h"
+#include "src/trace/trace.h"
 
 namespace ice {
+
+namespace {
+int BioFlags(const Bio& bio) {
+  return (bio.foreground ? kTraceFlagForeground : 0) |
+         (bio.dir == IoDir::kWrite ? kTraceFlagWrite : 0);
+}
+}  // namespace
 
 BlockDevice::BlockDevice(Engine& engine, FlashProfile profile)
     : engine_(engine), profile_(std::move(profile)), rng_(engine.rng().Fork()) {}
@@ -13,7 +21,10 @@ void BlockDevice::Submit(Bio bio) {
   engine_.stats().Increment(bio.dir == IoDir::kRead ? stat::kIoReads : stat::kIoWrites);
   engine_.stats().Add(bio.dir == IoDir::kRead ? stat::kIoReadBytes : stat::kIoWriteBytes,
                       PagesToBytes(bio.pages));
-  queue_.push_back(Pending{std::move(bio), engine_.now()});
+  uint64_t id = ++bio_seq_;
+  ICE_TRACE(engine_, TraceEventType::kBioSubmit,
+            {.pid = bio.pid, .flags = BioFlags(bio), .arg0 = bio.pages, .arg1 = id});
+  queue_.push_back(Pending{std::move(bio), engine_.now(), id});
   MaybeStart();
 }
 
@@ -44,17 +55,20 @@ void BlockDevice::MaybeStart() {
 
     Bio bio = std::move(p.bio);
     SimTime submitted = p.submitted;
-    engine_.ScheduleAfter(service, [this, bio = std::move(bio), submitted]() mutable {
-      Complete(std::move(bio), submitted);
+    uint64_t id = p.id;
+    engine_.ScheduleAfter(service, [this, bio = std::move(bio), submitted, id]() mutable {
+      Complete(std::move(bio), submitted, id);
     });
   }
 }
 
-void BlockDevice::Complete(Bio bio, SimTime submitted) {
+void BlockDevice::Complete(Bio bio, SimTime submitted, uint64_t id) {
   --inflight_;
   ICE_CHECK_GE(inflight_, 0);
   ++requests_completed_;
   SimDuration latency = engine_.now() - submitted;
+  ICE_TRACE(engine_, TraceEventType::kBioComplete,
+            {.pid = bio.pid, .flags = BioFlags(bio), .arg0 = latency, .arg1 = id});
   total_latency_us_ += latency;
   if (bio.foreground) {
     ++fg_requests_;

@@ -68,7 +68,7 @@ class BlockDevice {
 
  private:
   void MaybeStart();
-  void Complete(Bio bio, SimTime submitted);
+  void Complete(Bio bio, SimTime submitted, uint64_t id);
 
   Engine& engine_;
   FlashProfile profile_;
@@ -77,10 +77,12 @@ class BlockDevice {
   struct Pending {
     Bio bio;
     SimTime submitted;
+    uint64_t id = 0;  // Monotonic per-device request id (trace correlation).
   };
   std::deque<Pending> queue_;
   int inflight_ = 0;
   bool fg_priority_ = false;
+  uint64_t bio_seq_ = 0;
 
   uint64_t pages_read_ = 0;
   uint64_t pages_written_ = 0;

@@ -1,0 +1,31 @@
+// Chrome trace_event JSON exporter: loads in chrome://tracing and Perfetto.
+//
+// Layout: one synthetic "process" per subsystem so the interference chain
+// reads top-to-bottom on one timeline —
+//   pid 1 "cpu"     one track per core, sched slices named by task;
+//   pid 2 "mem"     reclaim spans (kswapd vs direct tracks) + evict/refault/
+//                   zram instants;
+//   pid 3 "io"      async bio spans (submit -> complete), read/write, FG/BG;
+//   pid 4 "frames"  async frame spans + deadline-miss instants;
+//   pid 5 "ice"     frozen-app spans (freeze -> thaw), RPF triggers, MDT
+//                   epochs (plus an E_f counter track).
+// Timestamps are SimTime microseconds, which is exactly trace_event's "ts"
+// unit — no conversion, no doubles, so the JSON is deterministic.
+#ifndef SRC_TRACE_CHROME_EXPORT_H_
+#define SRC_TRACE_CHROME_EXPORT_H_
+
+#include <string>
+
+#include "src/trace/tracer.h"
+
+namespace ice {
+
+std::string ChromeTraceJson(const Tracer& tracer);
+
+// Writes ChromeTraceJson(tracer) to `path`, creating parent directories.
+// Returns the path on success, "" on I/O failure.
+std::string WriteChromeTrace(const std::string& path, const Tracer& tracer);
+
+}  // namespace ice
+
+#endif  // SRC_TRACE_CHROME_EXPORT_H_

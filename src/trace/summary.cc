@@ -1,0 +1,34 @@
+#include "src/trace/summary.h"
+
+#include <sstream>
+
+namespace ice {
+
+TraceSummary SummarizeTrace(const Tracer& tracer) {
+  TraceSummary s;
+  s.enabled = true;
+  s.emitted = tracer.emitted();
+  s.dropped = tracer.dropped();
+  s.retained = tracer.retained();
+  for (size_t i = 0; i < kTraceEventTypeCount; ++i) {
+    s.counts[i] = tracer.count(static_cast<TraceEventType>(i));
+  }
+  return s;
+}
+
+std::string TraceSummaryJson(const TraceSummary& summary) {
+  std::ostringstream out;
+  out << "{\"emitted\": " << summary.emitted << ", \"dropped\": " << summary.dropped
+      << ", \"retained\": " << summary.retained << ", \"counts\": {";
+  for (size_t i = 0; i < kTraceEventTypeCount; ++i) {
+    if (i > 0) {
+      out << ", ";
+    }
+    out << "\"" << TraceEventTypeName(static_cast<TraceEventType>(i))
+        << "\": " << summary.counts[i];
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace ice

@@ -1,0 +1,29 @@
+// Derived-counter trace summary: per-type event totals plus ring-buffer
+// accounting, folded into ScenarioResult and the sweep_report JSON so grid
+// runs carry their trace profile without shipping the full event stream.
+#ifndef SRC_TRACE_SUMMARY_H_
+#define SRC_TRACE_SUMMARY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/trace/tracer.h"
+
+namespace ice {
+
+struct TraceSummary {
+  bool enabled = false;
+  uint64_t emitted = 0;   // All events emitted over the experiment lifetime.
+  uint64_t dropped = 0;   // Overwritten by ring-buffer overflow.
+  uint64_t retained = 0;  // Still in the buffer (exportable).
+  uint64_t counts[kTraceEventTypeCount] = {};  // Per-type emission totals.
+};
+
+TraceSummary SummarizeTrace(const Tracer& tracer);
+
+// {"emitted": N, "dropped": N, "retained": N, "counts": {"reclaim_begin": N, ...}}
+std::string TraceSummaryJson(const TraceSummary& summary);
+
+}  // namespace ice
+
+#endif  // SRC_TRACE_SUMMARY_H_

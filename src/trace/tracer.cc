@@ -1,0 +1,66 @@
+#include "src/trace/tracer.h"
+
+#include <sstream>
+
+namespace ice {
+
+const char* TraceEventTypeName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kReclaimBegin:
+      return "reclaim_begin";
+    case TraceEventType::kReclaimEnd:
+      return "reclaim_end";
+    case TraceEventType::kPageEvict:
+      return "page_evict";
+    case TraceEventType::kRefault:
+      return "refault";
+    case TraceEventType::kZramCompress:
+      return "zram_compress";
+    case TraceEventType::kZramDecompress:
+      return "zram_decompress";
+    case TraceEventType::kBioSubmit:
+      return "bio_submit";
+    case TraceEventType::kBioComplete:
+      return "bio_complete";
+    case TraceEventType::kSchedSwitch:
+      return "sched_switch";
+    case TraceEventType::kFreeze:
+      return "freeze";
+    case TraceEventType::kThaw:
+      return "thaw";
+    case TraceEventType::kRpfTrigger:
+      return "rpf_trigger";
+    case TraceEventType::kMdtEpoch:
+      return "mdt_epoch";
+    case TraceEventType::kFrameBegin:
+      return "frame_begin";
+    case TraceEventType::kFrameEnd:
+      return "frame_end";
+    case TraceEventType::kFrameDeadlineMiss:
+      return "frame_deadline_miss";
+  }
+  return "unknown";
+}
+
+const std::string& Tracer::TaskName(uint64_t trace_id) const {
+  static const std::string kIdle = "idle";
+  static const std::string kUnknown = "task";
+  if (trace_id == 0) {
+    return kIdle;
+  }
+  auto it = task_names_.find(trace_id);
+  return it == task_names_.end() ? kUnknown : it->second;
+}
+
+std::string Tracer::Serialize() const {
+  std::ostringstream out;
+  for (const TraceEvent& e : ring_.Snapshot()) {
+    out << e.ts << ' ' << TraceEventTypeName(e.type) << " flags=" << int{e.flags}
+        << " core=" << e.core << " pid=" << e.pid << " uid=" << e.uid
+        << " arg0=" << e.arg0 << " arg1=" << e.arg1 << '\n';
+  }
+  out << "emitted=" << emitted_ << " dropped=" << ring_.dropped() << '\n';
+  return out.str();
+}
+
+}  // namespace ice

@@ -114,6 +114,36 @@ TEST(MdtHeartbeat, DeathUnmanages) {
   EXPECT_EQ(daemon->mapping_table().Find(uid), nullptr);
 }
 
+// Regression for the unclamped double->int64 cast: an extreme delta makes
+// R * E_t overflow int64 range, which is UB when cast before clamping. The
+// clamp must happen in double space, landing exactly on max_freeze.
+TEST(MdtEquation, ExtremeDeltaClampsToMaxFreezeWithoutOverflow) {
+  ExperimentConfig config;
+  config.seed = 3;
+  config.scheme = "ice";
+  config.ice.delta = 1e18;
+  config.ice.min_freeze = Sec(1);
+  config.ice.max_freeze = Sec(64);
+  Experiment exp(config);
+  Mdt& mdt = static_cast<IceDaemon*>(&exp.scheme())->mdt();
+  EXPECT_EQ(mdt.CurrentFreezeDuration(), Sec(64));
+  // Still exact under memory pressure (bigger exponent).
+  exp.CacheBackgroundApps(8);
+  EXPECT_EQ(mdt.CurrentFreezeDuration(), Sec(64));
+}
+
+TEST(MdtEquation, ZeroDeltaClampsToMinFreeze) {
+  ExperimentConfig config;
+  config.seed = 3;
+  config.scheme = "ice";
+  config.ice.delta = 0.0;
+  config.ice.min_freeze = Sec(2);
+  Experiment exp(config);
+  Mdt& mdt = static_cast<IceDaemon*>(&exp.scheme())->mdt();
+  EXPECT_EQ(mdt.CurrentR(), 0.0);
+  EXPECT_EQ(mdt.CurrentFreezeDuration(), Sec(2));
+}
+
 TEST(MdtEquation, DeltaScalesR) {
   ExperimentConfig a;
   a.seed = 3;

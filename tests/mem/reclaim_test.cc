@@ -1,9 +1,11 @@
 // Reclaim-specific behavior: proportional per-space pressure, victim
-// filtering (the Acclaim hook), zram-full fallback to file, writeback I/O.
+// filtering (the Acclaim hook), zram-full fallback to file, writeback I/O,
+// kswapd-vs-direct attribution and cursor fairness.
 #include <gtest/gtest.h>
 
 #include "src/mem/memory_manager.h"
 #include "src/storage/flash_profiles.h"
+#include "src/trace/tracer.h"
 
 namespace ice {
 namespace {
@@ -160,6 +162,116 @@ TEST_F(ReclaimTest, EvictionRecordsShadowEntries) {
   }
   EXPECT_EQ(mm_.shadow().eviction_sequence(), 30u);
   mm_.Release(space);
+}
+
+// vmstat-style pgsteal attribution: a watermark breach must populate BOTH
+// the kswapd and the direct buckets, and the buckets must reconcile with the
+// totals and with the per-access AccessOutcome.direct_reclaimed counts.
+TEST_F(ReclaimTest, WatermarkBreachAttributesKswapdAndDirectSeparately) {
+  // More pages than usable frames (1800): allocations push free through the
+  // min watermark and enter direct reclaim inside Access.
+  AddressSpace space(1, 1, "a", Layout(900, 900, 900));
+  mm_.Register(space);
+  uint64_t outcome_direct_total = 0;
+  for (uint32_t vpn = 0; vpn < 2700; ++vpn) {
+    outcome_direct_total += mm_.Access(space, vpn, false, nullptr).direct_reclaimed;
+  }
+  DrainKswapd();
+
+  StatsRegistry& st = engine_.stats();
+  uint64_t kswapd = st.Get(stat::kPagesReclaimedKswapd);
+  uint64_t direct = st.Get(stat::kPagesReclaimedDirect);
+  EXPECT_GT(kswapd, 0u);
+  EXPECT_GT(direct, 0u);
+  EXPECT_EQ(kswapd + direct, st.Get(stat::kPagesReclaimed));
+  EXPECT_EQ(st.Get(stat::kPagesReclaimedAnonKswapd) + st.Get(stat::kPagesReclaimedAnonDirect),
+            st.Get(stat::kPagesReclaimedAnon));
+  EXPECT_EQ(st.Get(stat::kPagesReclaimedFileKswapd) + st.Get(stat::kPagesReclaimedFileDirect),
+            st.Get(stat::kPagesReclaimedFile));
+  // The sum the allocators saw is exactly what the direct bucket recorded.
+  EXPECT_EQ(outcome_direct_total, direct);
+  mm_.Release(space);
+}
+
+TEST_F(ReclaimTest, ReclaimResultCarriesContextAndPoolSplit) {
+  AddressSpace space(1, 1, "a", Layout(400, 400, 400));
+  mm_.Register(space);
+  TouchAll(space, 1200);
+  ReclaimResult r = mm_.KswapdBatch();
+  EXPECT_FALSE(r.direct);
+  EXPECT_EQ(r.reclaimed_anon + r.reclaimed_file, r.reclaimed);
+  EXPECT_GT(r.reclaimed, 0u);
+  mm_.Release(space);
+}
+
+TEST_F(ReclaimTest, PerProcessReclaimIsNotDirect) {
+  AddressSpace space(1, 1, "a", Layout(100, 100, 100));
+  mm_.Register(space);
+  TouchAll(space, 300);
+  ReclaimResult r = mm_.ReclaimAllOf(space);
+  EXPECT_FALSE(r.direct);
+  // Daemon-context reclaim lands in the non-direct (kswapd-side) buckets.
+  EXPECT_EQ(engine_.stats().Get(stat::kPagesReclaimedDirect), 0u);
+  EXPECT_EQ(engine_.stats().Get(stat::kPagesReclaimedKswapd),
+            engine_.stats().Get(stat::kPagesReclaimed));
+  mm_.Release(space);
+}
+
+// Cursor regression: a batch that meets its target after scanning spaces
+// [A, B] must start the next batch at C (the first unscanned space), not
+// re-drain B. Verified through the eviction order in the trace.
+TEST_F(ReclaimTest, CursorAdvancesPastAllScannedSpaces) {
+  MemConfig config;
+  config.total_pages = 16000;
+  config.os_reserved_pages = 200;
+  config.wm = Watermarks::FromHigh(120);
+  config.reclaim_contention_mean = 0;
+  Tracer tracer(16);
+  engine_.set_tracer(&tracer);
+  MemoryManager mm(engine_, config, &storage_);
+
+  // File-only spaces: clean discards, no zram/writeback noise. B dominates
+  // the LRU so batch 1 (target 32) fills within A (share 1) + B (share 31).
+  AddressSpace a(1, 1, "a", Layout(0, 0, 100));
+  AddressSpace b(2, 2, "b", Layout(0, 0, 10000));
+  AddressSpace c(3, 3, "c", Layout(0, 0, 100));
+  mm.Register(a);
+  mm.Register(b);
+  mm.Register(c);
+  for (uint32_t vpn = 0; vpn < 100; ++vpn) {
+    mm.Access(a, vpn, false, nullptr);
+  }
+  for (uint32_t vpn = 0; vpn < 10000; ++vpn) {
+    mm.Access(b, vpn, false, nullptr);
+  }
+  for (uint32_t vpn = 0; vpn < 100; ++vpn) {
+    mm.Access(c, vpn, false, nullptr);
+  }
+
+  ReclaimResult first = mm.KswapdBatch();
+  ASSERT_EQ(first.reclaimed, 32u);
+  EXPECT_EQ(c.total_evictions, 0u) << "batch 1 should stop before reaching C";
+  mm.KswapdBatch();
+  EXPECT_GT(c.total_evictions, 0u);
+
+  // The first eviction of batch 2 must come from C: the cursor moved past
+  // every space batch 1 scanned (the old advance-by-one restarted at B).
+  int begins = 0;
+  bool checked = false;
+  for (const TraceEvent& e : tracer.Events()) {
+    if (e.type == TraceEventType::kReclaimBegin) {
+      ++begins;
+    } else if (begins == 2 && e.type == TraceEventType::kPageEvict) {
+      EXPECT_EQ(e.uid, 3) << "batch 2 started at the wrong space";
+      checked = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(checked);
+  engine_.set_tracer(nullptr);
+  mm.Release(a);
+  mm.Release(b);
+  mm.Release(c);
 }
 
 TEST_F(ReclaimTest, ReclaimedCounterSplitsByType) {

@@ -5,10 +5,13 @@
 #include <algorithm>
 #include <map>
 
+#include "src/android/activity_manager.h"
 #include "src/base/rng.h"
 #include "src/ice/mapping_table.h"
+#include "src/ice/mdt.h"
 #include "src/mem/memory_manager.h"
 #include "src/proc/behavior.h"
+#include "src/proc/freezer.h"
 #include "src/proc/scheduler.h"
 #include "src/proc/task.h"
 #include "src/storage/flash_profiles.h"
@@ -405,6 +408,73 @@ TEST_P(MappingTableFuzz, MatchesReferenceModel) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MappingTableFuzz, ::testing::Values(2, 4, 6, 8));
+
+// ---------------------------------------------------------------------------
+// Eq. 1 (MDT freezing intensity): for ANY delta — including extreme values
+// that overflow int64 when cast unclamped — the freeze duration E_f stays in
+// [min_freeze, max_freeze] and is monotonically non-increasing in available
+// memory (equivalently: consuming memory never shortens the freeze period).
+// ---------------------------------------------------------------------------
+
+class MdtEquationProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(MdtEquationProperty, FreezeDurationBoundedAndMonotoneInPressure) {
+  Engine engine(11);
+  BlockDevice storage(engine, Ufs21Profile());
+  MemConfig mc;
+  mc.total_pages = BytesToPages(512 * kMiB);
+  mc.os_reserved_pages = BytesToPages(64 * kMiB);
+  mc.wm = Watermarks::FromHigh(BytesToPages(32 * kMiB));
+  mc.reclaim_contention_mean = 0;
+  MemoryManager mm(engine, mc, &storage);
+  Scheduler sched(engine, mm, 4);
+  Freezer freezer(engine);
+  ActivityManager am(engine, sched, mm, freezer);
+  IceConfig ic;
+  ic.delta = GetParam();
+  ic.hwm_mib = 256;
+  Mdt mdt(ic, engine, mm, freezer, am);
+
+  // Consume memory in steps, sampling (available, E_f) along the way. Anon
+  // pages subtract from MemAvailable in full (file pages give half back via
+  // the file-LRU term), and the sweep stops well above the watermarks so
+  // reclaim never interferes with the samples.
+  AddressSpaceLayout layout;
+  layout.native_pages = BytesToPages(360 * kMiB);
+  AddressSpace space(1, 1, "hog", layout);
+  mm.Register(space);
+
+  struct Sample {
+    PageCount available;
+    SimDuration ef;
+  };
+  std::vector<Sample> samples;
+  samples.push_back({mm.available_pages(), mdt.CurrentFreezeDuration()});
+  uint32_t step = static_cast<uint32_t>(BytesToPages(8 * kMiB));
+  for (uint32_t vpn = 0; vpn < space.total_pages(); ++vpn) {
+    mm.Access(space, vpn, false, nullptr);
+    if ((vpn + 1) % step == 0) {
+      samples.push_back({mm.available_pages(), mdt.CurrentFreezeDuration()});
+    }
+  }
+
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].ef, ic.min_freeze) << "delta=" << ic.delta;
+    EXPECT_LE(samples[i].ef, ic.max_freeze) << "delta=" << ic.delta;
+    if (i > 0) {
+      // Less available memory => freeze period never shrinks.
+      ASSERT_LE(samples[i].available, samples[i - 1].available);
+      EXPECT_GE(samples[i].ef, samples[i - 1].ef)
+          << "E_f shrank as memory tightened (delta=" << ic.delta << ", step " << i << ")";
+    }
+  }
+  // The sweep must actually exercise a range of pressures.
+  EXPECT_LT(samples.back().available, samples.front().available / 2);
+  mm.Release(space);
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, MdtEquationProperty,
+                         ::testing::Values(0.0, 0.25, 1.0, 8.0, 64.0, 1e6, 1e18));
 
 // ---------------------------------------------------------------------------
 // Determinism: identical seeds give identical end-to-end results.

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Validate a simtrace Chrome trace_event export.
+
+Checks that the file is well-formed JSON in the Chrome trace_event "object
+format" (a traceEvents array), that it contains events at all, and that each
+required event name appears at least once. Prints a per-name count table so
+CI logs double as a cheap trace summary.
+
+Usage:
+  validate_trace.py TRACE.json [--require name ...]
+
+The default --require set is the minimal footprint of any run that exercises
+scheduling, reclaim and frames; pass an explicit list to tighten or loosen.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+DEFAULT_REQUIRED = [
+    "kswapd_reclaim",
+    "zram_compress",
+    "frame",
+]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace_event JSON file")
+    parser.add_argument(
+        "--require",
+        nargs="*",
+        default=DEFAULT_REQUIRED,
+        help="event names that must appear at least once",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"FAIL: {args.trace}: {err}", file=sys.stderr)
+        return 1
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        print("FAIL: no traceEvents array", file=sys.stderr)
+        return 1
+
+    counts = collections.Counter()
+    last_ts = {}
+    for e in events:
+        name = e.get("name")
+        phase = e.get("ph")
+        if not isinstance(name, str) or not isinstance(phase, str):
+            print(f"FAIL: malformed event: {e!r}", file=sys.stderr)
+            return 1
+        if phase == "M":  # metadata records a track name, not an occurrence
+            continue
+        counts[name] += 1
+        # Determinism guard: timestamps must be monotone per (pid, tid) track.
+        ts = e.get("ts")
+        key = (e.get("pid"), e.get("tid"))
+        if isinstance(ts, (int, float)):
+            if key in last_ts and ts < last_ts[key]:
+                print(
+                    f"FAIL: ts went backwards on track {key}: "
+                    f"{last_ts[key]} -> {ts} ({name})",
+                    file=sys.stderr,
+                )
+                return 1
+            last_ts[key] = ts
+
+    total = sum(counts.values())
+    if total == 0:
+        print("FAIL: trace contains no events", file=sys.stderr)
+        return 1
+
+    width = max(len(n) for n in counts)
+    for name in sorted(counts):
+        print(f"  {name:<{width}}  {counts[name]}")
+    print(f"ok: {total} events across {len(counts)} names")
+
+    missing = [n for n in args.require if counts[n] == 0]
+    if missing:
+        print(f"FAIL: required events absent: {', '.join(missing)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
