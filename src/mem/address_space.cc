@@ -1,21 +1,31 @@
 #include "src/mem/address_space.h"
 
+#include <new>
 #include <utility>
 
 #include "src/base/log.h"
 
 namespace ice {
 
+void PageArrayDeleter::operator()(PageInfo* pages) const {
+  for (size_t i = count; i > 0; --i) {
+    pages[i - 1].~PageInfo();
+  }
+  ::operator delete(static_cast<void*>(pages), std::align_val_t(alignof(PageInfo)));
+}
+
 AddressSpace::AddressSpace(Pid pid, Uid uid, std::string name, const AddressSpaceLayout& layout)
     : pid_(pid), uid_(uid), name_(std::move(name)), layout_(layout) {
   page_count_ = layout.total();
-  pages_ = std::make_unique<PageInfo[]>(page_count_);
+  void* raw = ::operator new(page_count_ * sizeof(PageInfo), std::align_val_t(alignof(PageInfo)));
+  PageInfo* pages = static_cast<PageInfo*>(raw);
   for (uint32_t vpn = 0; vpn < page_count_; ++vpn) {
-    PageInfo& p = pages_[vpn];
+    PageInfo& p = *new (pages + vpn) PageInfo();
     p.owner = this;
     p.vpn = vpn;
     p.kind = KindOf(vpn);
   }
+  pages_ = std::unique_ptr<PageInfo[], PageArrayDeleter>(pages, PageArrayDeleter{page_count_});
 }
 
 PageInfo& AddressSpace::page(uint32_t vpn) {

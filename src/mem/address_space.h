@@ -27,6 +27,13 @@ struct AddressSpaceLayout {
   PageCount total() const { return java_pages + native_pages + file_pages; }
 };
 
+// Deleter for the placement-new constructed page array (see AddressSpace's
+// constructor): destroys elements in reverse order, then frees the raw block.
+struct PageArrayDeleter {
+  size_t count = 0;
+  void operator()(PageInfo* pages) const;
+};
+
 class AddressSpace {
  public:
   AddressSpace(Pid pid, Uid uid, std::string name, const AddressSpaceLayout& layout);
@@ -89,7 +96,12 @@ class AddressSpace {
   Uid uid_;
   std::string name_;
   AddressSpaceLayout layout_;
-  std::unique_ptr<PageInfo[]> pages_;
+  // The page array is placement-new constructed so owner/vpn/kind are set in
+  // the same pass that first touches each element. `new PageInfo[n]` would
+  // zero-initialize the whole array (tens of MB for a large app) and then a
+  // second loop would rewrite it — at process-start rates that double sweep
+  // dominated sweep-runner profiles.
+  std::unique_ptr<PageInfo[], PageArrayDeleter> pages_;
   size_t page_count_ = 0;
   PageCount resident_ = 0;
   PageCount evicted_ = 0;

@@ -40,15 +40,14 @@ void LruLists::Touch(PageInfo* page) {
   list(PoolOf(*page), true).PushFront(page);
 }
 
-std::vector<PageInfo*> LruLists::IsolateCandidates(LruPool pool, uint32_t max,
-                                                   uint32_t scan_budget,
-                                                   const VictimFilter& filter) {
-  std::vector<PageInfo*> isolated;
+void LruLists::IsolateCandidates(LruPool pool, uint32_t max, uint32_t scan_budget,
+                                 const VictimFilter& filter, std::vector<PageInfo*>& out) {
+  out.clear();
   List& inactive = list(pool, false);
   List& active = list(pool, true);
 
   uint32_t scanned = 0;
-  while (isolated.size() < max && scanned < scan_budget && !inactive.empty()) {
+  while (out.size() < max && scanned < scan_budget && !inactive.empty()) {
     ++scanned;
     PageInfo* page = inactive.PopBack();
     if (page->referenced) {
@@ -63,9 +62,8 @@ std::vector<PageInfo*> LruLists::IsolateCandidates(LruPool pool, uint32_t max,
       inactive.PushFront(page);
       continue;
     }
-    isolated.push_back(page);
+    out.push_back(page);
   }
-  return isolated;
 }
 
 void LruLists::Balance(LruPool pool) {

@@ -43,12 +43,14 @@ class LruLists {
   void Touch(PageInfo* page);
 
   // Isolates up to `max` eviction candidates from the inactive tail of
-  // `pool`. Referenced pages get a second chance (promoted to active,
-  // reference bit cleared). Pages rejected by `filter` are rotated to the
-  // inactive head and count against `scan_budget`. Isolated pages are
-  // unlinked from the LRU; the caller owns their fate.
-  std::vector<PageInfo*> IsolateCandidates(LruPool pool, uint32_t max, uint32_t scan_budget,
-                                           const VictimFilter& filter);
+  // `pool` into `out` (cleared first; a caller-provided scratch vector so
+  // repeated reclaim batches reuse one allocation). Referenced pages get a
+  // second chance (promoted to active, reference bit cleared). Pages rejected
+  // by `filter` are rotated to the inactive head and count against
+  // `scan_budget`. Isolated pages are unlinked from the LRU; the caller owns
+  // their fate.
+  void IsolateCandidates(LruPool pool, uint32_t max, uint32_t scan_budget,
+                         const VictimFilter& filter, std::vector<PageInfo*>& out);
 
   // Moves pages from the active tail to the inactive head until the inactive
   // list holds at least half the pool (mirrors inactive_is_low balancing).

@@ -8,10 +8,34 @@
 
 namespace ice {
 
+MemoryManager::HotCounters::HotCounters(StatsRegistry& st)
+    : page_faults(st.Counter(stat::kPageFaults)),
+      zram_loads(st.Counter(stat::kZramLoads)),
+      zram_stores(st.Counter(stat::kZramStores)),
+      direct_reclaims(st.Counter(stat::kDirectReclaims)),
+      kswapd_wakeups(st.Counter(stat::kKswapdWakeups)),
+      refaults(st.Counter(stat::kRefaults)),
+      refaults_fg(st.Counter(stat::kRefaultsFg)),
+      refaults_bg(st.Counter(stat::kRefaultsBg)),
+      refaults_anon(st.Counter(stat::kRefaultsAnon)),
+      refaults_file(st.Counter(stat::kRefaultsFile)),
+      refaults_java_heap(st.Counter(stat::kRefaultsJavaHeap)),
+      refaults_native_heap(st.Counter(stat::kRefaultsNativeHeap)),
+      pages_reclaimed(st.Counter(stat::kPagesReclaimed)),
+      pages_reclaimed_kswapd(st.Counter(stat::kPagesReclaimedKswapd)),
+      pages_reclaimed_direct(st.Counter(stat::kPagesReclaimedDirect)),
+      pages_reclaimed_anon(st.Counter(stat::kPagesReclaimedAnon)),
+      pages_reclaimed_anon_kswapd(st.Counter(stat::kPagesReclaimedAnonKswapd)),
+      pages_reclaimed_anon_direct(st.Counter(stat::kPagesReclaimedAnonDirect)),
+      pages_reclaimed_file(st.Counter(stat::kPagesReclaimedFile)),
+      pages_reclaimed_file_kswapd(st.Counter(stat::kPagesReclaimedFileKswapd)),
+      pages_reclaimed_file_direct(st.Counter(stat::kPagesReclaimedFileDirect)) {}
+
 MemoryManager::MemoryManager(Engine& engine, const MemConfig& config, BlockDevice* storage)
     : engine_(engine),
       config_(config),
       storage_(storage),
+      ct_(engine.stats()),
       contention_rng_(engine.rng().Fork()),
       zram_(config.zram, engine.rng().Fork()) {
   ICE_CHECK_GT(config_.total_pages, config_.os_reserved_pages);
@@ -89,7 +113,7 @@ SimDuration MemoryManager::ContentionPenalty() {
 }
 
 AccessOutcome MemoryManager::Access(AddressSpace& space, uint32_t vpn, bool write,
-                                    std::function<void()> waker) {
+                                    const std::function<void()>& waker) {
   AccessOutcome outcome;
   PageInfo& p = space.page(vpn);
   bool foreground = space.uid() == foreground_uid_ && foreground_uid_ != kInvalidUid;
@@ -105,7 +129,7 @@ AccessOutcome MemoryManager::Access(AddressSpace& space, uint32_t vpn, bool writ
       return outcome;
 
     case PageState::kUntouched: {
-      engine_.stats().Increment(stat::kPageFaults);
+      ++*ct_.page_faults;
       outcome.kind = AccessOutcome::Kind::kFirstTouch;
       outcome.cpu_us = config_.fault_fixed_cost + ContentionPenalty();
       TakeFrame(space, outcome);
@@ -117,7 +141,7 @@ AccessOutcome MemoryManager::Access(AddressSpace& space, uint32_t vpn, bool writ
     }
 
     case PageState::kInZram: {
-      engine_.stats().Increment(stat::kPageFaults);
+      ++*ct_.page_faults;
       outcome.kind = AccessOutcome::Kind::kZramFault;
       outcome.cpu_us =
           config_.fault_fixed_cost + zram_.decompress_cost() + ContentionPenalty();
@@ -127,7 +151,7 @@ AccessOutcome MemoryManager::Access(AddressSpace& space, uint32_t vpn, bool writ
                 {.pid = space.pid(), .uid = space.uid(), .arg0 = p.zram_bytes});
       zram_.Drop(&p);
       SyncZramFrames();
-      engine_.stats().Increment(stat::kZramLoads);
+      ++*ct_.zram_loads;
       RecordRefaultStats(p, foreground);
       shadow_.RecordRefault(&p, engine_.now(), foreground);
       MakePresent(&p);
@@ -135,7 +159,7 @@ AccessOutcome MemoryManager::Access(AddressSpace& space, uint32_t vpn, bool writ
     }
 
     case PageState::kOnFlash: {
-      engine_.stats().Increment(stat::kPageFaults);
+      ++*ct_.page_faults;
       outcome.kind = AccessOutcome::Kind::kIoFault;
       outcome.cpu_us = config_.fault_fixed_cost + ContentionPenalty();
       outcome.blocked = true;
@@ -150,7 +174,7 @@ AccessOutcome MemoryManager::Access(AddressSpace& space, uint32_t vpn, bool writ
       FaultKey key{&space, vpn};
       auto& waiters = pending_faults_[key];
       if (waker) {
-        waiters.push_back(std::move(waker));
+        waiters.push_back(waker);
       }
       ICE_CHECK(storage_ != nullptr) << "flash fault without a storage device";
 
@@ -170,7 +194,7 @@ AccessOutcome MemoryManager::Access(AddressSpace& space, uint32_t vpn, bool writ
         if (np.state != PageState::kOnFlash) {
           break;
         }
-        engine_.stats().Increment(stat::kPageFaults);
+        ++*ct_.page_faults;
         RecordRefaultStats(np, foreground);
         shadow_.RecordRefault(&np, engine_.now(), foreground);
         TakeFrame(space, outcome);
@@ -198,7 +222,7 @@ AccessOutcome MemoryManager::Access(AddressSpace& space, uint32_t vpn, bool writ
       outcome.kind = AccessOutcome::Kind::kIoFault;
       outcome.blocked = true;
       if (waker) {
-        pending_faults_[FaultKey{&space, vpn}].push_back(std::move(waker));
+        pending_faults_[FaultKey{&space, vpn}].push_back(waker);
       }
       return outcome;
     }
@@ -214,14 +238,13 @@ void MemoryManager::RecordRefaultStats(const PageInfo& p, bool foreground) {
              .flags = (foreground ? kTraceFlagForeground : 0) |
                       (IsAnon(p.kind) ? kTraceFlagAnon : 0),
              .arg0 = p.vpn});
-  StatsRegistry& st = engine_.stats();
-  st.Increment(stat::kRefaults);
-  st.Increment(foreground ? stat::kRefaultsFg : stat::kRefaultsBg);
-  st.Increment(IsAnon(p.kind) ? stat::kRefaultsAnon : stat::kRefaultsFile);
+  ++*ct_.refaults;
+  ++*(foreground ? ct_.refaults_fg : ct_.refaults_bg);
+  ++*(IsAnon(p.kind) ? ct_.refaults_anon : ct_.refaults_file);
   if (p.kind == HeapKind::kJavaHeap) {
-    st.Increment(stat::kRefaultsJavaHeap);
+    ++*ct_.refaults_java_heap;
   } else if (p.kind == HeapKind::kNativeHeap) {
-    st.Increment(stat::kRefaultsNativeHeap);
+    ++*ct_.refaults_native_heap;
   }
   ++p.owner->total_refaults;
 }
@@ -262,7 +285,7 @@ void MemoryManager::TakeFrame(AddressSpace& space, AccessOutcome& outcome) {
       !in_reclaim_) {
     // Direct reclaim: performed synchronously in the allocating task's
     // context regardless of its priority — the priority inversion of §2.2.3.
-    engine_.stats().Increment(stat::kDirectReclaims);
+    ++*ct_.direct_reclaims;
     int attempts = 0;
     while (config_.wm.NeedsDirectReclaim(
                free_pages_ < 0 ? 0 : static_cast<PageCount>(free_pages_)) &&
@@ -287,7 +310,7 @@ void MemoryManager::MaybeWakeKswapd() {
   PageCount free = free_pages_ < 0 ? 0 : static_cast<PageCount>(free_pages_);
   if (config_.wm.NeedsKswapd(free) && !kswapd_woken_) {
     kswapd_woken_ = true;
-    engine_.stats().Increment(stat::kKswapdWakeups);
+    ++*ct_.kswapd_wakeups;
     if (kswapd_waker_) {
       kswapd_waker_();
     }

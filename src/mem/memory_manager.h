@@ -109,9 +109,11 @@ class MemoryManager {
   // ---- Fault / access path -------------------------------------------------
 
   // Performs one page access by (space, vpn). `waker` is invoked when an
-  // I/O-blocked fault completes; it may be empty for probe accesses.
+  // I/O-blocked fault completes; it may be empty for probe accesses. Taken by
+  // const reference so the hot path never constructs a std::function per
+  // access — only the (rare) I/O-blocking paths copy it into the wait list.
   AccessOutcome Access(AddressSpace& space, uint32_t vpn, bool write,
-                       std::function<void()> waker);
+                       const std::function<void()>& waker);
 
   // ---- Frame accounting ----------------------------------------------------
 
@@ -192,9 +194,39 @@ class MemoryManager {
   // Lock-contention penalty applied to fault costs while reclaim is active.
   SimDuration ContentionPenalty();
 
+  // Counter cells for the fault and reclaim hot paths, resolved once at
+  // construction. StatsRegistry::Counter returns pointers that stay valid
+  // (and that Reset() zeroes in place), so this turns millions of string-map
+  // lookups per simulated second into plain increments.
+  struct HotCounters {
+    explicit HotCounters(StatsRegistry& st);
+    uint64_t* page_faults;
+    uint64_t* zram_loads;
+    uint64_t* zram_stores;
+    uint64_t* direct_reclaims;
+    uint64_t* kswapd_wakeups;
+    uint64_t* refaults;
+    uint64_t* refaults_fg;
+    uint64_t* refaults_bg;
+    uint64_t* refaults_anon;
+    uint64_t* refaults_file;
+    uint64_t* refaults_java_heap;
+    uint64_t* refaults_native_heap;
+    uint64_t* pages_reclaimed;
+    uint64_t* pages_reclaimed_kswapd;
+    uint64_t* pages_reclaimed_direct;
+    uint64_t* pages_reclaimed_anon;
+    uint64_t* pages_reclaimed_anon_kswapd;
+    uint64_t* pages_reclaimed_anon_direct;
+    uint64_t* pages_reclaimed_file;
+    uint64_t* pages_reclaimed_file_kswapd;
+    uint64_t* pages_reclaimed_file_direct;
+  };
+
   Engine& engine_;
   MemConfig config_;
   BlockDevice* storage_;  // May be null in pure-memory unit tests.
+  HotCounters ct_;
   Rng contention_rng_;
 
   // Keeps free_pages_ in sync with the RAM the zram store itself occupies
@@ -216,6 +248,9 @@ class MemoryManager {
   std::function<bool()> oom_handler_;
   bool kswapd_woken_ = false;
   bool in_reclaim_ = false;  // Guards against reentrant reclaim.
+  // Isolation scratch reused across reclaim batches (safe: in_reclaim_ bars
+  // reentry, so only one batch uses it at a time).
+  std::vector<PageInfo*> isolate_scratch_;
 
   // Pages with an in-flight flash read and the tasks waiting on them.
   struct FaultKey {

@@ -85,10 +85,9 @@ ReclaimResult MemoryManager::ReclaimBatch(PageCount target, bool direct) {
         continue;
       }
       uint32_t want = static_cast<uint32_t>(plan.want);
-      std::vector<PageInfo*> candidates =
-          lru.IsolateCandidates(plan.pool, want, want * 4, victim_filter_);
-      result.scanned += candidates.size();
-      for (PageInfo* page : candidates) {
+      lru.IsolateCandidates(plan.pool, want, want * 4, victim_filter_, isolate_scratch_);
+      result.scanned += isolate_scratch_.size();
+      for (PageInfo* page : isolate_scratch_) {
         EvictPage(page, result, direct);
       }
     }
@@ -113,7 +112,6 @@ ReclaimResult MemoryManager::ReclaimBatch(PageCount target, bool direct) {
 
 bool MemoryManager::EvictPage(PageInfo* page, ReclaimResult& result, bool direct) {
   ICE_CHECK(page->state == PageState::kPresent);
-  StatsRegistry& st = engine_.stats();
 
   if (IsAnon(page->kind)) {
     if (!zram_.Store(page)) {
@@ -124,10 +122,9 @@ bool MemoryManager::EvictPage(PageInfo* page, ReclaimResult& result, bool direct
     page->state = PageState::kInZram;
     result.cpu_us += zram_.compress_cost() + config_.unmap_cost;
     SyncZramFrames();
-    st.Increment(stat::kZramStores);
-    st.Increment(stat::kPagesReclaimedAnon);
-    st.Increment(direct ? stat::kPagesReclaimedAnonDirect
-                        : stat::kPagesReclaimedAnonKswapd);
+    ++*ct_.zram_stores;
+    ++*ct_.pages_reclaimed_anon;
+    ++*(direct ? ct_.pages_reclaimed_anon_direct : ct_.pages_reclaimed_anon_kswapd);
     ++result.reclaimed_anon;
     ICE_TRACE(engine_, TraceEventType::kZramCompress,
               {.uid = page->owner->uid(), .arg0 = page->zram_bytes});
@@ -143,9 +140,8 @@ bool MemoryManager::EvictPage(PageInfo* page, ReclaimResult& result, bool direct
       result.cpu_us += config_.discard_cost + config_.unmap_cost;
     }
     page->state = PageState::kOnFlash;
-    st.Increment(stat::kPagesReclaimedFile);
-    st.Increment(direct ? stat::kPagesReclaimedFileDirect
-                        : stat::kPagesReclaimedFileKswapd);
+    ++*ct_.pages_reclaimed_file;
+    ++*(direct ? ct_.pages_reclaimed_file_direct : ct_.pages_reclaimed_file_kswapd);
     ++result.reclaimed_file;
   }
 
@@ -155,8 +151,8 @@ bool MemoryManager::EvictPage(PageInfo* page, ReclaimResult& result, bool direct
   ++page->owner->total_evictions;
   ++free_pages_;
   ++result.reclaimed;
-  st.Increment(stat::kPagesReclaimed);
-  st.Increment(direct ? stat::kPagesReclaimedDirect : stat::kPagesReclaimedKswapd);
+  ++*ct_.pages_reclaimed;
+  ++*(direct ? ct_.pages_reclaimed_direct : ct_.pages_reclaimed_kswapd);
   ICE_TRACE(engine_, TraceEventType::kPageEvict,
             {.uid = page->owner->uid(),
              .flags = (IsAnon(page->kind) ? kTraceFlagAnon : 0) |

@@ -21,8 +21,7 @@ bool TaskContext::Compute(SimDuration us) {
 }
 
 bool TaskContext::Touch(AddressSpace& space, uint32_t vpn, bool write) {
-  Task* task = &task_;
-  AccessOutcome outcome = mm().Access(space, vpn, write, [task]() { task->Wake(); });
+  AccessOutcome outcome = mm().Access(space, vpn, write, task_.io_waker());
   used_ += outcome.cpu_us;
   if (outcome.blocked) {
     blocked_ = true;

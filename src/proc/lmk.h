@@ -32,6 +32,10 @@ class Lmk : public Ticker {
 
   void Tick(SimTime now) override;
 
+  // Tick is a no-op until the next periodic check, so idle time up to it can
+  // be skipped.
+  SimTime NextWorkAt(SimTime now) override { return next_check_ > now ? next_check_ : now; }
+
   uint64_t kills() const { return kills_; }
 
   // lmkd minfree analog: cached apps die when MemAvailable falls below this

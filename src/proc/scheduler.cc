@@ -68,6 +68,50 @@ void Scheduler::OnTaskDead(Task* task) {
                     live_tasks_.end());
 }
 
+SimTime Scheduler::NextWorkAt(SimTime now) {
+  if (!run_queue_.empty()) {
+    return now;
+  }
+#ifndef ICE_TRACE_DISABLED
+  if (engine_.tracer() != nullptr) {
+    // A core still shows a (stale) occupant: the next Tick emits its
+    // switch-to-idle sched event, so that tick cannot be skipped.
+    for (const Task* t : core_last_) {
+      if (t != nullptr) {
+        return now;
+      }
+    }
+  }
+#endif
+  return kTickerIdle;
+}
+
+void Scheduler::OnTicksSkipped(SimTime first_skipped, uint64_t count) {
+  const SimDuration quantum = Engine::kTick;
+  const uint64_t cap_per_tick = static_cast<uint64_t>(num_cores_) * quantum;
+  SimTime t = first_skipped;
+  uint64_t remaining = count;
+  while (remaining > 0) {
+    // First skipped tick at which the per-second sampler would have fired
+    // (Tick samples when t + quantum >= next_second_boundary_).
+    SimTime threshold = next_second_boundary_ - quantum;
+    uint64_t until_sample = threshold > t ? (threshold - t + quantum - 1) / quantum : 0;
+    uint64_t chunk = std::min(remaining, until_sample + 1);
+    capacity_us_ += chunk * cap_per_tick;
+    second_capacity_us_ += chunk * cap_per_tick;
+    t += chunk * quantum;
+    remaining -= chunk;
+    if (chunk == until_sample + 1) {
+      per_second_.push_back(second_capacity_us_ == 0
+                                ? 0.0
+                                : static_cast<double>(second_busy_us_) / second_capacity_us_);
+      second_busy_us_ = 0;
+      second_capacity_us_ = 0;
+      next_second_boundary_ += kSecond;
+    }
+  }
+}
+
 void Scheduler::Tick(SimTime now) {
   const SimDuration quantum = Engine::kTick;
   capacity_us_ += static_cast<uint64_t>(num_cores_) * quantum;
@@ -83,18 +127,18 @@ void Scheduler::Tick(SimTime now) {
   if (!run_queue_.empty()) {
     // Select up to num_cores tasks. Tasks repaying debt (mid non-preemptive
     // section) keep their cores; the rest are picked by minimum vruntime.
-    std::vector<Task*> candidates;
-    candidates.reserve(run_queue_.size());
+    candidates_.clear();
+    candidates_.reserve(run_queue_.size());
     uint64_t min_vr = UINT64_MAX;
     for (Task* t : run_queue_) {
-      candidates.push_back(t);
+      candidates_.push_back(t);
       min_vr = std::min(min_vr, t->vruntime_us());
     }
     if (min_vr != UINT64_MAX) {
       min_vruntime_us_ = std::max(min_vruntime_us_, min_vr);
     }
-    size_t slots = std::min(candidates.size(), static_cast<size_t>(num_cores_));
-    std::partial_sort(candidates.begin(), candidates.begin() + slots, candidates.end(),
+    size_t slots = std::min(candidates_.size(), static_cast<size_t>(num_cores_));
+    std::partial_sort(candidates_.begin(), candidates_.begin() + slots, candidates_.end(),
                       [](const Task* a, const Task* b) {
                         bool a_debt = a->debt_us() > 0;
                         bool b_debt = b->debt_us() > 0;
@@ -105,7 +149,7 @@ void Scheduler::Tick(SimTime now) {
                       });
 
     for (size_t i = 0; i < slots; ++i) {
-      Task* task = candidates[i];
+      Task* task = candidates_[i];
       if (task->state() != TaskState::kRunnable) {
         continue;  // Frozen/killed by an earlier task this tick.
       }

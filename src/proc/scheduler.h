@@ -44,6 +44,15 @@ class Scheduler : public Ticker {
 
   void Tick(SimTime now) override;
 
+  // Quiescence: no runnable task means every Tick is a no-op (capacity
+  // accounting is batch-applied in OnTicksSkipped), except that with a tracer
+  // installed the first idle tick must still run to emit the switch-to-idle
+  // sched events.
+  SimTime NextWorkAt(SimTime now) override;
+  // Applies the capacity/per-second accounting the skipped (all-idle) ticks
+  // would have performed, bit-for-bit.
+  void OnTicksSkipped(SimTime first_skipped, uint64_t count) override;
+
   // ---- Run queue maintenance (called by Task) -------------------------------
   void OnTaskRunnable(Task* task);
   void OnTaskNotRunnable(Task* task);
@@ -81,6 +90,9 @@ class Scheduler : public Ticker {
   SimTime next_second_boundary_ = kSecond;
 
   uint64_t min_vruntime_us_ = 0;
+
+  // Per-tick candidate scratch, reused so the Tick hot path never allocates.
+  std::vector<Task*> candidates_;
 
   // Tracing: the task last seen on each core, so Tick emits one sched_switch
   // per actual occupancy change (scratch vector avoids per-tick allocation).

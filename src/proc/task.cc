@@ -42,7 +42,8 @@ Task::Task(Scheduler& scheduler, std::string name, Process* process, int nice,
       process_(process),
       nice_(nice),
       weight_(NiceToWeight(nice)),
-      behavior_(std::move(behavior)) {
+      behavior_(std::move(behavior)),
+      io_waker_([this] { Wake(); }) {
   ICE_CHECK(behavior_ != nullptr);
 }
 

@@ -13,6 +13,7 @@
 #define SRC_PROC_TASK_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -83,6 +84,12 @@ class Task : public ListNode<RunQueueTag> {
   // Park waiting for I/O; the memory manager's completion waker calls Wake().
   void BlockOnIo();
 
+  // Reusable `[this] { Wake(); }` for the fault path. Tasks are owned by
+  // unique_ptr and graveyarded rather than destroyed mid-simulation, so the
+  // captured pointer stays valid; reusing one std::function avoids building
+  // a fresh callable on every memory access.
+  const std::function<void()>& io_waker() const { return io_waker_; }
+
   // Freezer interface (used via the Freezer, the paper's try_to_freeze()).
   void RequestFreeze();
   void ThawNow();
@@ -134,6 +141,7 @@ class Task : public ListNode<RunQueueTag> {
 
   EventId timer_event_ = kInvalidEventId;
   uint64_t timer_generation_ = 0;
+  std::function<void()> io_waker_;
 };
 
 }  // namespace ice

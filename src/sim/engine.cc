@@ -9,12 +9,12 @@ namespace ice {
 
 Engine::Engine(uint64_t seed) : rng_(seed) {}
 
-EventId Engine::ScheduleAt(SimTime when, std::function<void()> fn) {
+EventId Engine::ScheduleAt(SimTime when, EventFn fn) {
   ICE_CHECK_GE(when, now_) << "scheduling into the past";
   return events_.Schedule(when, std::move(fn));
 }
 
-EventId Engine::ScheduleAfter(SimDuration delay, std::function<void()> fn) {
+EventId Engine::ScheduleAfter(SimDuration delay, EventFn fn) {
   return events_.Schedule(now_ + delay, std::move(fn));
 }
 
@@ -70,9 +70,55 @@ void Engine::RunOneTick() {
   ++ticks_;
 }
 
+void Engine::MaybeSkipIdleTicks(SimTime until) {
+  // Rounds `t` up to the next tick boundary (ticks land at now_ + k * kTick).
+  // Callers guard t != kTickerIdle so the arithmetic cannot overflow.
+  auto ceil_to_tick = [this](SimTime t) -> SimTime {
+    if (t <= now_) {
+      return now_;
+    }
+    return now_ + ((t - now_ + kTick - 1) / kTick) * kTick;
+  };
+
+  SimTime target = ceil_to_tick(until);
+  for (Ticker* t : tickers_) {
+    SimTime w = t->NextWorkAt(now_);
+    if (w == kTickerIdle) {
+      continue;
+    }
+    SimTime tick_of_w = ceil_to_tick(w);
+    if (tick_of_w < target) {
+      target = tick_of_w;
+    }
+    if (target == now_) {
+      return;  // Some ticker has work right now; nothing to skip.
+    }
+  }
+  if (!events_.empty()) {
+    SimTime tick_of_ev = ceil_to_tick(events_.NextTime());
+    if (tick_of_ev < target) {
+      target = tick_of_ev;
+    }
+  }
+  if (target <= now_) {
+    return;
+  }
+
+  const uint64_t skipped = (target - now_) / kTick;
+  for (Ticker* t : tickers_) {
+    t->OnTicksSkipped(now_, skipped);
+  }
+  now_ = target;
+  ticks_ += skipped;
+  ticks_skipped_ += skipped;
+}
+
 void Engine::RunUntil(SimTime until) {
   while (now_ < until) {
     RunOneTick();
+    if (now_ < until) {
+      MaybeSkipIdleTicks(until);
+    }
   }
   // Deliver events that land exactly on the boundary.
   events_.RunDue(now_);

@@ -6,11 +6,16 @@
 // that do work every scheduling quantum — chiefly the CPU scheduler. The
 // engine also owns the experiment-wide Rng and StatsRegistry so determinism
 // and accounting have a single root.
+//
+// When every Ticker reports quiescence via NextWorkAt() and no event is due,
+// the engine jumps time forward in whole ticks instead of spinning 1 ms at a
+// time ("idle tick-skipping"). Skipped ticks are observationally identical to
+// executed ones: ticks_elapsed() counts them, and tickers that accumulate
+// per-tick state batch-apply it in OnTicksSkipped().
 #ifndef SRC_SIM_ENGINE_H_
 #define SRC_SIM_ENGINE_H_
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "src/base/rng.h"
@@ -22,11 +27,32 @@ namespace ice {
 
 class Tracer;
 
+// Sentinel NextWorkAt() result: this ticker has no self-initiated work at any
+// future time (it only reacts to events or other components).
+inline constexpr SimTime kTickerIdle = UINT64_MAX;
+
 class Ticker {
  public:
   virtual ~Ticker() = default;
   // Called once per engine tick with the current simulated time.
   virtual void Tick(SimTime now) = 0;
+
+  // Earliest time at or after `now` at which this ticker has work to do, or
+  // kTickerIdle if none. The engine may skip Tick() calls strictly before the
+  // reported time, so implementations must never under-report: returning T
+  // asserts that every Tick(t) with t < T would have been a no-op (stats
+  // updates excepted if batch-applied via OnTicksSkipped). The conservative
+  // default — "work every tick" — disables skipping for this ticker.
+  virtual SimTime NextWorkAt(SimTime now) { return now; }
+
+  // Notification that the engine skipped `count` ticks that would have
+  // occurred at times first, first + kTick, ... Tickers that accumulate
+  // per-tick state (e.g. scheduler capacity accounting) apply the batch
+  // equivalent here so skipped and executed runs produce identical stats.
+  virtual void OnTicksSkipped(SimTime first_skipped, uint64_t count) {
+    (void)first_skipped;
+    (void)count;
+  }
 };
 
 class Engine {
@@ -52,8 +78,8 @@ class Engine {
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
   Tracer* tracer() const { return tracer_; }
 
-  EventId ScheduleAt(SimTime when, std::function<void()> fn);
-  EventId ScheduleAfter(SimDuration delay, std::function<void()> fn);
+  EventId ScheduleAt(SimTime when, EventFn fn);
+  EventId ScheduleAfter(SimDuration delay, EventFn fn);
   bool Cancel(EventId id);
 
   // Tickers are called in registration order. Registration during a tick
@@ -65,11 +91,19 @@ class Engine {
   void RunUntil(SimTime until);
   void RunFor(SimDuration duration) { RunUntil(now_ + duration); }
 
+  // Number of idle ticks elided by tick-skipping so far (each still counted
+  // in ticks_elapsed()). Exposed for tests and benchmarks.
+  uint64_t ticks_skipped() const { return ticks_skipped_; }
+
  private:
   void RunOneTick();
+  // After a tick at now_, jump now_ forward to the next tick with work
+  // (bounded by `until`) if every ticker and the event queue are quiescent.
+  void MaybeSkipIdleTicks(SimTime until);
 
   SimTime now_ = 0;
   uint64_t ticks_ = 0;
+  uint64_t ticks_skipped_ = 0;
   Tracer* tracer_ = nullptr;
   Rng rng_;
   StatsRegistry stats_;

@@ -1,0 +1,129 @@
+// EventFn: a small-buffer-optimized, move-only callable for scheduled events.
+//
+// The simulator schedules millions of events per run (task sleep timers,
+// vsync, I/O completions) and nearly all of them capture a pointer or two.
+// std::function heap-allocates for most lambda captures; EventFn stores
+// captures up to kInlineSize bytes inline, so the Schedule hot path performs
+// no allocation. Larger callables (e.g. ones that own a Bio with its own
+// std::function) fall back to a single heap allocation, same as before.
+#ifndef SRC_SIM_EVENT_FN_H_
+#define SRC_SIM_EVENT_FN_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ice {
+
+class EventFn {
+ public:
+  // Sized for the common capture shapes: [this], [this, id, generation],
+  // and a moved-in std::function<void()> (32 bytes on libstdc++) all fit.
+  static constexpr size_t kInlineSize = 48;
+
+  EventFn() noexcept = default;
+  EventFn(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(runtime/explicit)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { MoveFrom(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  // Invoking an empty EventFn is undefined; callers check beforehand.
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  // Destroys the wrapped callable (used to release captures promptly when an
+  // event is cancelled, without waiting for the node to be lazily reclaimed).
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  // True when the callable lives in the inline buffer (no heap allocation).
+  bool is_inline() const noexcept { return ops_ != nullptr && ops_->inline_storage; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-constructs the callable into dst from src, then destroys src.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* storage);
+    bool inline_storage;
+  };
+
+  template <typename Fn>
+  static Fn* Stored(void* storage) noexcept {
+    return std::launder(reinterpret_cast<Fn*>(storage));
+  }
+  template <typename Fn>
+  static Fn* HeapStored(void* storage) noexcept {
+    return *std::launder(reinterpret_cast<Fn**>(storage));
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      /*invoke=*/[](void* s) { (*Stored<Fn>(s))(); },
+      /*relocate=*/
+      [](void* dst, void* src) {
+        Fn* f = Stored<Fn>(src);
+        ::new (dst) Fn(std::move(*f));
+        f->~Fn();
+      },
+      /*destroy=*/[](void* s) { Stored<Fn>(s)->~Fn(); },
+      /*inline_storage=*/true,
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      /*invoke=*/[](void* s) { (*HeapStored<Fn>(s))(); },
+      /*relocate=*/
+      [](void* dst, void* src) { ::new (dst) Fn*(HeapStored<Fn>(src)); },
+      /*destroy=*/[](void* s) { delete HeapStored<Fn>(s); },
+      /*inline_storage=*/false,
+  };
+
+  void MoveFrom(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace ice
+
+#endif  // SRC_SIM_EVENT_FN_H_

@@ -1,69 +1,19 @@
 // Time-ordered callback queue driving the discrete-event half of the
 // simulator (timers, I/O completions, MDT heartbeats, vsync, ...).
+//
+// EventQueue is the hierarchical timing wheel from timing_wheel.h: O(1)
+// schedule, O(1) generation-checked cancel, allocation-free hot path, and
+// firing order identical to the original binary-heap implementation
+// ((when, seq) with FIFO tie-break). See timing_wheel.h for the invariants
+// and DESIGN.md ("Engine") for the level layout.
 #ifndef SRC_SIM_EVENT_QUEUE_H_
 #define SRC_SIM_EVENT_QUEUE_H_
 
-#include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
-#include <vector>
-
-#include "src/base/units.h"
+#include "src/sim/timing_wheel.h"
 
 namespace ice {
 
-using EventId = uint64_t;
-inline constexpr EventId kInvalidEventId = 0;
-
-class EventQueue {
- public:
-  EventQueue() = default;
-
-  // Schedules `fn` at absolute time `when`. Ties are broken FIFO by insertion
-  // order so simulation order is deterministic.
-  EventId Schedule(SimTime when, std::function<void()> fn);
-
-  // Best-effort cancel; O(1) by tombstoning. Returns false if the event was
-  // unknown or already fired.
-  bool Cancel(EventId id);
-
-  bool empty() const { return live_count_ == 0; }
-  size_t size() const { return live_count_; }
-
-  // Earliest pending (non-cancelled) event time; only valid when !empty().
-  SimTime NextTime();
-
-  // Pops and runs every event with time <= now, in order. Events scheduled
-  // during dispatch at times <= now also run in this call.
-  void RunDue(SimTime now);
-
- private:
-  struct Event {
-    SimTime when;
-    uint64_t seq;
-    EventId id;
-    // Mutable so the function can be moved out of the priority_queue top.
-    mutable std::function<void()> fn;
-
-    bool operator<(const Event& other) const {
-      // priority_queue is a max-heap; invert for earliest-first.
-      if (when != other.when) {
-        return when > other.when;
-      }
-      return seq > other.seq;
-    }
-  };
-
-  // Removes cancelled events sitting at the heap top.
-  void SkipCancelledHead();
-
-  std::priority_queue<Event> heap_;
-  uint64_t next_seq_ = 1;
-  EventId next_id_ = 1;
-  size_t live_count_ = 0;
-  std::unordered_set<EventId> cancelled_;
-};
+using EventQueue = TimingWheel;
 
 }  // namespace ice
 

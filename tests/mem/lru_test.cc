@@ -67,7 +67,8 @@ TEST_F(LruTest, IsolateTakesUnreferencedFromInactiveTail) {
   lru_.Balance(LruPool::kAnon);
   size_t inactive = lru_.inactive_size(LruPool::kAnon);
   ASSERT_GT(inactive, 0u);
-  auto victims = lru_.IsolateCandidates(LruPool::kAnon, 2, 8, nullptr);
+  std::vector<PageInfo*> victims;
+  lru_.IsolateCandidates(LruPool::kAnon, 2, 8, nullptr, victims);
   EXPECT_EQ(victims.size(), std::min<size_t>(2, inactive));
   for (PageInfo* v : victims) {
     EXPECT_FALSE((IntrusiveList<PageInfo, LruTag>::IsLinked(v)));
@@ -93,7 +94,8 @@ TEST_F(LruTest, SecondChancePromotesReferenced) {
     }
   }
   size_t active_before = lru_.active_size(LruPool::kAnon);
-  auto victims = lru_.IsolateCandidates(LruPool::kAnon, 4, 16, nullptr);
+  std::vector<PageInfo*> victims;
+  lru_.IsolateCandidates(LruPool::kAnon, 4, 16, nullptr, victims);
   // All inactive pages were referenced: none isolated, all promoted.
   EXPECT_TRUE(victims.empty());
   EXPECT_GT(lru_.active_size(LruPool::kAnon), active_before);
@@ -125,7 +127,8 @@ TEST_F(LruTest, VictimFilterRotatesProtectedPages) {
     lru_.PutBackInactive(AnonPage(i));  // All inactive, unreferenced.
   }
   auto protect_all = [](const PageInfo&) { return true; };
-  auto victims = lru_.IsolateCandidates(LruPool::kAnon, 4, 16, protect_all);
+  std::vector<PageInfo*> victims;
+  lru_.IsolateCandidates(LruPool::kAnon, 4, 16, protect_all, victims);
   EXPECT_TRUE(victims.empty());
   EXPECT_EQ(lru_.inactive_size(LruPool::kAnon), 4u);  // Rotated, not evicted.
   for (uint32_t i = 0; i < 4; ++i) {
@@ -140,7 +143,8 @@ TEST_F(LruTest, ScanBudgetBoundsWork) {
     lru_.PutBackInactive(AnonPage(i));
     AnonPage(i)->referenced = true;  // Everything referenced: all rotate.
   }
-  auto victims = lru_.IsolateCandidates(LruPool::kAnon, 8, 3, nullptr);
+  std::vector<PageInfo*> victims;
+  lru_.IsolateCandidates(LruPool::kAnon, 8, 3, nullptr, victims);
   EXPECT_TRUE(victims.empty());
   // Only 3 pages were scanned (promoted); 5 remain inactive.
   EXPECT_EQ(lru_.inactive_size(LruPool::kAnon), 5u);

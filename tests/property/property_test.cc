@@ -235,8 +235,9 @@ TEST_P(LruProperty, SizesConserveAndNoDoubleLinks) {
         lru.Balance(LruPool::kFile);
         break;
       case 4: {
-        auto victims = lru.IsolateCandidates(rng.Chance(0.5) ? LruPool::kAnon : LruPool::kFile,
-                                             4, 16, nullptr);
+        std::vector<PageInfo*> victims;
+        lru.IsolateCandidates(rng.Chance(0.5) ? LruPool::kAnon : LruPool::kFile, 4, 16,
+                              nullptr, victims);
         for (PageInfo* v : victims) {
           linked[v->vpn] = false;
           --expected;

@@ -109,6 +109,92 @@ TEST(Engine, RemoveTickerDuringTickIsSafe) {
   engine.RemoveTicker(&other);
 }
 
+// ---------------------------------------------------------------------------
+// Idle tick-skipping
+// ---------------------------------------------------------------------------
+
+// A ticker that only has work every `period`: NextWorkAt reports the next
+// multiple, and the test checks Tick is called exactly at those times while
+// the engine's tick count still advances as if every tick ran.
+class PeriodicTicker : public Ticker {
+ public:
+  explicit PeriodicTicker(SimDuration period) : period_(period) {}
+  void Tick(SimTime now) override {
+    ++ticks;
+    if (now >= next_work_) {
+      work_times.push_back(now);
+      next_work_ = now + period_;
+    }
+  }
+  SimTime NextWorkAt(SimTime now) override { return next_work_ > now ? next_work_ : now; }
+  void OnTicksSkipped(SimTime, uint64_t count) override { skipped += count; }
+
+  SimDuration period_;
+  SimTime next_work_ = 0;
+  int ticks = 0;
+  uint64_t skipped = 0;
+  std::vector<SimTime> work_times;
+};
+
+TEST(Engine, IdleTicksAreSkippedWithNoTickersOrEvents) {
+  Engine engine(1);
+  engine.RunFor(Sec(10));
+  EXPECT_EQ(engine.now(), Sec(10));
+  EXPECT_EQ(engine.ticks_elapsed(), 10'000u);  // Skipped ticks still counted.
+  EXPECT_GT(engine.ticks_skipped(), 9'000u);
+}
+
+TEST(Engine, DefaultTickerDisablesSkipping) {
+  Engine engine(1);
+  CountingTicker t;  // Default NextWorkAt: work every tick.
+  engine.AddTicker(&t);
+  engine.RunFor(Ms(50));
+  EXPECT_EQ(t.ticks, 50);
+  EXPECT_EQ(engine.ticks_skipped(), 0u);
+  engine.RemoveTicker(&t);
+}
+
+TEST(Engine, QuiescentTickerIsSkippedButBatchNotified) {
+  Engine engine(1);
+  PeriodicTicker t(Ms(100));
+  engine.AddTicker(&t);
+  engine.RunFor(Sec(1));
+  // Executed ticks + skipped ticks account for every tick exactly once.
+  EXPECT_EQ(static_cast<uint64_t>(t.ticks) + t.skipped, 1'000u);
+  EXPECT_GT(t.skipped, 900u);  // The 100 ms gaps were skipped, not spun.
+  ASSERT_EQ(t.work_times.size(), 10u);
+  for (size_t i = 0; i < t.work_times.size(); ++i) {
+    EXPECT_EQ(t.work_times[i], i * Ms(100));  // Work happened exactly on time.
+  }
+  engine.RemoveTicker(&t);
+}
+
+TEST(Engine, EventsBoundTheSkip) {
+  Engine engine(1);
+  std::vector<SimTime> fired;
+  engine.ScheduleAt(Us(2500), [&] { fired.push_back(engine.now()); });
+  engine.ScheduleAt(Sec(2), [&] { fired.push_back(engine.now()); });
+  engine.RunFor(Sec(5));
+  // Same boundary-rounding semantics as the non-skipping engine.
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], Ms(3));
+  EXPECT_EQ(fired[1], Sec(2));
+  EXPECT_EQ(engine.ticks_elapsed(), 5'000u);
+  EXPECT_GT(engine.ticks_skipped(), 0u);
+}
+
+TEST(Engine, SkippingPreservesTickPhaseAndRunUntilBoundary) {
+  // Skip targets must stay on the engine's tick grid even for unaligned
+  // event times and RunUntil boundaries.
+  Engine engine(1);
+  SimTime fired = 0;
+  engine.ScheduleAt(Us(1'234'567), [&] { fired = engine.now(); });
+  engine.RunUntil(Us(3'500'500));
+  EXPECT_EQ(fired, Us(1'235'000));           // ceil to the 1 ms grid.
+  EXPECT_EQ(engine.now(), Us(3'501'000));    // Same final time as unskipped.
+  EXPECT_EQ(engine.ticks_elapsed(), 3'501u);
+}
+
 TEST(Engine, StatsAndRngAccessible) {
   Engine engine(99);
   engine.stats().Increment("test.counter");

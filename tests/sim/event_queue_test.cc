@@ -68,6 +68,53 @@ TEST(EventQueue, DoubleCancelFails) {
   EXPECT_FALSE(q.Cancel(9999));
 }
 
+// Regression: the old tombstone-set implementation let Cancel on an
+// already-fired id insert a permanent tombstone, wrongly decrement the live
+// count, and return true. The generation-tagged ids detect it exactly.
+TEST(EventQueue, CancelAfterFireFailsWithoutCorruption) {
+  EventQueue q;
+  int ran = 0;
+  EventId fired = q.Schedule(10, [&] { ++ran; });
+  q.Schedule(50, [&] { ++ran; });
+  q.RunDue(20);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_FALSE(q.Cancel(fired));  // Already fired: cancel must fail...
+  EXPECT_EQ(q.size(), 1u);        // ...and must not decrement live count.
+  EXPECT_FALSE(q.empty());
+  q.RunDue(100);
+  EXPECT_EQ(ran, 2);  // The still-live event is unaffected.
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelAfterFireOnEmptyQueueKeepsEmptyConsistent) {
+  EventQueue q;
+  EventId id = q.Schedule(10, [] {});
+  q.RunDue(10);
+  ASSERT_TRUE(q.empty());
+  EXPECT_FALSE(q.Cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  // A fresh event still schedules and fires normally afterwards.
+  int ran = 0;
+  q.Schedule(20, [&] { ++ran; });
+  EXPECT_EQ(q.size(), 1u);
+  q.RunDue(20);
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(EventQueue, StaleIdAfterNodeReuseFails) {
+  EventQueue q;
+  EventId first = q.Schedule(10, [] {});
+  q.RunDue(10);  // Fires; its pool node returns to the free list.
+  int ran = 0;
+  q.Schedule(30, [&] { ++ran; });  // Reuses the node under a new generation.
+  EXPECT_FALSE(q.Cancel(first));   // Stale handle must not hit the new event.
+  EXPECT_EQ(q.size(), 1u);
+  q.RunDue(30);
+  EXPECT_EQ(ran, 1);
+}
+
 TEST(EventQueue, NextTimeSkipsCancelled) {
   EventQueue q;
   EventId early = q.Schedule(10, [] {});

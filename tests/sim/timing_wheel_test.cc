@@ -1,0 +1,344 @@
+// TimingWheel correctness against a reference model, plus EventFn semantics.
+//
+// The property test drives the wheel and a brute-force (when, seq) model
+// through identical randomized schedule/cancel/advance scripts — with whens
+// spanning every wheel level and the overflow heap, and advances crossing
+// slot, window, and multi-level cascade boundaries — and asserts the firing
+// sequences are exactly equal. This is the determinism bar for replacing the
+// old binary-heap EventQueue: not "sorted output" but the identical total
+// order, including FIFO tie-breaks and events spawned during dispatch.
+#include "src/sim/timing_wheel.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/sim/event_fn.h"
+
+namespace ice {
+namespace {
+
+// ---------------------------------------------------------------------------
+// EventFn
+// ---------------------------------------------------------------------------
+
+TEST(EventFn, SmallCapturesAreInline) {
+  int x = 0;
+  EventFn fn = [&x] { ++x; };
+  EXPECT_TRUE(static_cast<bool>(fn));
+  EXPECT_TRUE(fn.is_inline());
+  fn();
+  EXPECT_EQ(x, 1);
+}
+
+TEST(EventFn, MovedStdFunctionFitsInline) {
+  int x = 0;
+  std::function<void()> f = [&x] { x += 2; };
+  EventFn fn = std::move(f);
+  EXPECT_TRUE(fn.is_inline());
+  fn();
+  EXPECT_EQ(x, 2);
+}
+
+TEST(EventFn, LargeCapturesFallBackToHeap) {
+  struct Big {
+    uint64_t payload[16];
+  };
+  Big big{};
+  big.payload[0] = 7;
+  int out = 0;
+  EventFn fn = [big, &out] { out = static_cast<int>(big.payload[0]); };
+  EXPECT_FALSE(fn.is_inline());
+  fn();
+  EXPECT_EQ(out, 7);
+}
+
+TEST(EventFn, MoveTransfersOwnership) {
+  int x = 0;
+  EventFn a = [&x] { ++x; };
+  EventFn b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(x, 1);
+
+  EventFn c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));  // NOLINT(bugprone-use-after-move)
+  c();
+  EXPECT_EQ(x, 2);
+}
+
+TEST(EventFn, ResetDestroysCapturedState) {
+  auto token = std::make_shared<int>(42);
+  EventFn fn = [token] { (void)*token; };
+  EXPECT_EQ(token.use_count(), 2);
+  fn.reset();
+  EXPECT_EQ(token.use_count(), 1);  // Capture released promptly.
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(EventFn, DestructorReleasesHeapCallable) {
+  auto token = std::make_shared<int>(7);
+  struct Big {
+    std::shared_ptr<int> t;
+    uint64_t pad[16];
+  };
+  {
+    EventFn fn = [big = Big{token, {}}] { (void)big.t; };
+    EXPECT_FALSE(fn.is_inline());
+    EXPECT_EQ(token.use_count(), 2);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// TimingWheel vs. reference model
+// ---------------------------------------------------------------------------
+
+// Brute-force reference with the exact semantics of the original
+// priority_queue EventQueue: fire in (when, seq) order, FIFO ties, events
+// scheduled during dispatch at times <= now join the current batch.
+class RefModel {
+ public:
+  int Schedule(SimTime when, int label) {
+    evs_.push_back({when, next_seq_++, label, State::kPending});
+    return static_cast<int>(evs_.size() - 1);
+  }
+
+  bool Cancel(int idx) {
+    if (evs_[idx].state != State::kPending) {
+      return false;
+    }
+    evs_[idx].state = State::kCancelled;
+    return true;
+  }
+
+  size_t size() const {
+    size_t n = 0;
+    for (const Ev& e : evs_) {
+      n += e.state == State::kPending ? 1 : 0;
+    }
+    return n;
+  }
+
+  SimTime NextTime() const {
+    SimTime best = UINT64_MAX;
+    for (const Ev& e : evs_) {
+      if (e.state == State::kPending && e.when < best) {
+        best = e.when;
+      }
+    }
+    return best;
+  }
+
+  // `on_fire(label)` may call Schedule (spawned events with when <= now join
+  // this batch, exactly like the wheel's dispatch).
+  void RunDue(SimTime now, const std::function<void(int)>& on_fire) {
+    for (;;) {
+      int best = -1;
+      for (size_t i = 0; i < evs_.size(); ++i) {
+        const Ev& e = evs_[i];
+        if (e.state != State::kPending || e.when > now) {
+          continue;
+        }
+        if (best < 0 || e.when < evs_[best].when ||
+            (e.when == evs_[best].when && e.seq < evs_[best].seq)) {
+          best = static_cast<int>(i);
+        }
+      }
+      if (best < 0) {
+        return;
+      }
+      evs_[best].state = State::kFired;
+      on_fire(evs_[best].label);
+    }
+  }
+
+ private:
+  enum class State { kPending, kFired, kCancelled };
+  struct Ev {
+    SimTime when;
+    uint64_t seq;
+    int label;
+    State state;
+  };
+  std::vector<Ev> evs_;
+  uint64_t next_seq_ = 1;
+};
+
+class WheelProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WheelProperty, FiringOrderMatchesReferenceModel) {
+  Rng rng(GetParam());
+  TimingWheel wheel;
+  RefModel model;
+
+  SimTime now = 0;
+  int next_label = 0;
+  std::vector<int> wheel_fired;
+  std::vector<int> model_fired;
+
+  // label -> (child delay, child label) for events that spawn on fire.
+  std::map<int, std::pair<SimDuration, int>> spawns;
+  // Parallel cancellable handles (top-level events only).
+  std::vector<std::pair<EventId, int>> handles;
+
+  // Delay scales probing each wheel level and the overflow heap:
+  // within-slot, level-0 span, level-1, level-2, level-3, beyond.
+  auto random_delay = [&rng]() -> SimDuration {
+    switch (rng.Below(6)) {
+      case 0:
+        return rng.Below(2048);
+      case 1:
+        return rng.Below(70'000);
+      case 2:
+        return rng.Below(4'200'000);
+      case 3:
+        return static_cast<SimDuration>(rng.Range(0, 270'000'000));
+      case 4:
+        return static_cast<SimDuration>(rng.Range(0, 17'000'000'000));
+      default:
+        return static_cast<SimDuration>(rng.Range(17'000'000'000, 40'000'000'000));
+    }
+  };
+
+  // Each side schedules its own events (including spawn-on-fire children,
+  // recursively) from the shared `spawns` script, so order divergence — the
+  // thing under test — is the only way the two firing logs can differ.
+  std::function<EventId(SimTime, int)> wheel_schedule = [&](SimTime when, int label) {
+    return wheel.Schedule(when, [&, label] {
+      wheel_fired.push_back(label);
+      auto it = spawns.find(label);
+      if (it != spawns.end()) {
+        wheel_schedule(/*when=*/it->second.first, it->second.second);
+      }
+    });
+  };
+  std::function<void(int)> model_on_fire = [&](int label) {
+    model_fired.push_back(label);
+    auto it = spawns.find(label);
+    if (it != spawns.end()) {
+      model.Schedule(it->second.first, it->second.second);
+    }
+  };
+  auto schedule_both = [&](SimTime when, int label) {
+    EventId id = wheel_schedule(when, label);
+    int idx = model.Schedule(when, label);
+    handles.emplace_back(id, idx);
+  };
+
+  for (int step = 0; step < 4000; ++step) {
+    uint32_t dice = rng.Below(100);
+    if (dice < 55) {
+      int label = next_label++;
+      SimTime when = now + random_delay();
+      if (rng.Chance(0.2)) {
+        // Spawn-on-fire child. Delay 0 lands at the parent's `when`, which is
+        // <= dispatch-now: it must join the in-flight batch.
+        SimDuration child_delay = rng.Chance(0.4) ? 0 : random_delay();
+        int child_label = next_label++;
+        spawns[label] = {when + child_delay, child_label};
+      }
+      schedule_both(when, label);
+    } else if (dice < 70 && !handles.empty()) {
+      auto [id, idx] = handles[rng.Below(static_cast<uint32_t>(handles.size()))];
+      EXPECT_EQ(wheel.Cancel(id), model.Cancel(idx));
+    } else {
+      // Advance: mostly 1 ms ticks, sometimes jumps crossing slot windows,
+      // level-1/2 cascade boundaries, or clear out to the overflow horizon.
+      SimDuration step_us;
+      switch (rng.Below(8)) {
+        case 0:
+        case 1:
+        case 2:
+        case 3:
+          step_us = 1000;
+          break;
+        case 4:
+          step_us = rng.Below(70'000);
+          break;
+        case 5:
+          step_us = rng.Below(4'200'000);
+          break;
+        case 6:
+          step_us = static_cast<SimDuration>(rng.Range(0, 270'000'000));
+          break;
+        default:
+          step_us = static_cast<SimDuration>(rng.Range(0, 20'000'000'000));
+          break;
+      }
+      now += step_us;
+      wheel.RunDue(now);
+      model.RunDue(now, model_on_fire);
+      ASSERT_EQ(wheel_fired, model_fired) << "divergence at step " << step;
+    }
+
+    ASSERT_EQ(wheel.size(), model.size()) << "size divergence at step " << step;
+    if (!wheel.empty() && rng.Chance(0.25)) {
+      ASSERT_EQ(wheel.NextTime(), model.NextTime()) << "NextTime divergence at step " << step;
+    }
+  }
+
+  // Drain everything left and compare the tail. The horizon covers the worst
+  // case: a max-delay event whose on-fire spawn is itself max-delay (40,000 s
+  // twice over), plus the overflow heap.
+  now += 100'000'000'000ull;
+  wheel.RunDue(now);
+  model.RunDue(now, model_on_fire);
+  EXPECT_EQ(wheel_fired, model_fired);
+  EXPECT_TRUE(wheel.empty());
+  EXPECT_EQ(model.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WheelProperty,
+                         ::testing::Values(1, 7, 42, 1234, 987654321));
+
+// Directed cascade regression: events parked in higher levels must fire at
+// the right times after the cursor crosses their cascade boundaries, and
+// same-slot events must preserve (when, seq) order even when their wheel
+// slots would interleave them differently.
+TEST(TimingWheel, CascadedEventsFireInWhenSeqOrder) {
+  TimingWheel wheel;
+  std::vector<int> order;
+  // Same level-1 slot, decreasing times: slot chain order (insertion) is the
+  // reverse of firing order, so this passes only if dispatch re-sorts.
+  wheel.Schedule(130'000, [&] { order.push_back(3); });
+  wheel.Schedule(128'000, [&] { order.push_back(2); });
+  wheel.Schedule(127'000, [&] { order.push_back(1); });
+  // Far future: level 2 and overflow.
+  wheel.Schedule(5'000'000, [&] { order.push_back(4); });
+  wheel.Schedule(30'000'000'000ull, [&] { order.push_back(5); });
+  for (SimTime t = 0; t <= 200'000; t += 1000) {
+    wheel.RunDue(t);
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  wheel.RunDue(5'000'000);
+  EXPECT_EQ(order.size(), 4u);
+  wheel.RunDue(30'000'000'000ull);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimingWheel, NodePoolIsReusedAfterFire) {
+  TimingWheel wheel;
+  int fired = 0;
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      wheel.Schedule(static_cast<SimTime>(round * 1000 + i), [&] { ++fired; });
+    }
+    wheel.RunDue(static_cast<SimTime>(round * 1000 + 999));
+  }
+  EXPECT_EQ(fired, 800);
+  // Steady state reuses freed nodes instead of growing the pool per event.
+  EXPECT_LE(wheel.allocated_nodes(), 16u);
+}
+
+}  // namespace
+}  // namespace ice
