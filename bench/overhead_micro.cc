@@ -79,7 +79,7 @@ void BM_ShadowRefaultDispatch(benchmark::State& state) {
   for (auto _ : state) {
     PageInfo* page = &space.page(0);
     shadow.RecordEviction(page);
-    benchmark::DoNotOptimize(shadow.RecordRefault(page, 0, false));
+    benchmark::DoNotOptimize(shadow.RecordRefault(page, space, 0, false));
   }
 }
 BENCHMARK(BM_ShadowRefaultDispatch);

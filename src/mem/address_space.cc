@@ -7,25 +7,22 @@
 
 namespace ice {
 
-void PageArrayDeleter::operator()(PageInfo* pages) const {
-  for (size_t i = count; i > 0; --i) {
-    pages[i - 1].~PageInfo();
-  }
-  ::operator delete(static_cast<void*>(pages), std::align_val_t(alignof(PageInfo)));
+void PageArenaDeleter::operator()(PageInfo* pages) const {
+  ::operator delete(static_cast<void*>(pages), std::align_val_t(kPageArenaAlign));
 }
 
 AddressSpace::AddressSpace(Pid pid, Uid uid, std::string name, const AddressSpaceLayout& layout)
     : pid_(pid), uid_(uid), name_(std::move(name)), layout_(layout) {
   page_count_ = layout.total();
-  void* raw = ::operator new(page_count_ * sizeof(PageInfo), std::align_val_t(alignof(PageInfo)));
+  void* raw = ::operator new(page_count_ * sizeof(PageInfo), std::align_val_t(kPageArenaAlign));
   PageInfo* pages = static_cast<PageInfo*>(raw);
   for (uint32_t vpn = 0; vpn < page_count_; ++vpn) {
     PageInfo& p = *new (pages + vpn) PageInfo();
-    p.owner = this;
     p.vpn = vpn;
-    p.kind = KindOf(vpn);
+    p.set_kind(KindOf(vpn));
   }
-  pages_ = std::unique_ptr<PageInfo[], PageArrayDeleter>(pages, PageArrayDeleter{page_count_});
+  pages_ = std::unique_ptr<PageInfo[], PageArenaDeleter>(pages, PageArenaDeleter{});
+  lru_.BindArena(this, pages);
 }
 
 PageInfo& AddressSpace::page(uint32_t vpn) {

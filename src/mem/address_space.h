@@ -1,10 +1,13 @@
 // A process address space: fixed-capacity page table with three regions
 // (Java heap, native heap, file-backed), populated lazily on first touch.
 //
-// Capacity is fixed at construction so PageInfo objects never move — LRU
-// lists and in-flight faults hold stable pointers into `pages_`. "Heap
-// growth" is modeled by touching previously untouched pages, which is how
-// the PUBG-style game workload allocates its 100 MB+ per battle round.
+// Page metadata lives in one contiguous arena (`pages_`) sized at
+// construction, so a space's records are a single slab: the reclaim scan and
+// LRU rotation walk packed 32-byte entries instead of pointer-chasing heap
+// nodes. Capacity is fixed so PageInfo records never move — LRU index links
+// and in-flight faults address pages by vpn for the AddressSpace lifetime.
+// "Heap growth" is modeled by touching previously untouched pages, which is
+// how the PUBG-style game workload allocates its 100 MB+ per battle round.
 #ifndef SRC_MEM_ADDRESS_SPACE_H_
 #define SRC_MEM_ADDRESS_SPACE_H_
 
@@ -27,12 +30,18 @@ struct AddressSpaceLayout {
   PageCount total() const { return java_pages + native_pages + file_pages; }
 };
 
-// Deleter for the placement-new constructed page array (see AddressSpace's
-// constructor): destroys elements in reverse order, then frees the raw block.
-struct PageArrayDeleter {
-  size_t count = 0;
+// Arena allocation alignment: a full cache line, so 32-byte records pair up
+// two per line and a record never straddles a line boundary.
+inline constexpr size_t kPageArenaAlign = 64;
+
+// Deleter for the arena: PageInfo is trivially destructible, so this only
+// returns the raw block.
+struct PageArenaDeleter {
   void operator()(PageInfo* pages) const;
 };
+
+// Value of space_id() before MemoryManager::Register assigns one.
+inline constexpr uint32_t kInvalidSpaceId = UINT32_MAX;
 
 class AddressSpace {
  public:
@@ -45,6 +54,12 @@ class AddressSpace {
   Uid uid() const { return uid_; }
   const std::string& name() const { return name_; }
   const AddressSpaceLayout& layout() const { return layout_; }
+
+  // Per-MemoryManager registration id; half of the {space_id, vpn} handle
+  // that names pages outside the space (see PageHandle).
+  uint32_t space_id() const { return space_id_; }
+  void set_space_id(uint32_t id) { space_id_ = id; }
+  PageHandle handle_of(uint32_t vpn) const { return PageHandle(space_id_, vpn); }
 
   PageCount total_pages() const { return page_count_; }
   PageInfo& page(uint32_t vpn);
@@ -70,9 +85,9 @@ class AddressSpace {
   void AddResident(int64_t delta);
   void AddEvicted(int64_t delta);
 
-  // Iterates every page (for whole-process reclaim / teardown). PageInfo
-  // objects are pinned for the AddressSpace lifetime (LRU lists hold
-  // pointers), hence the fixed array rather than a growable container.
+  // Iterates every page (for whole-process reclaim / teardown). The arena is
+  // pinned for the AddressSpace lifetime (LRU links and fault handles
+  // address into it), hence the fixed slab rather than a growable container.
   std::span<PageInfo> pages() { return {pages_.get(), page_count_}; }
 
   // Cumulative lifetime counters, maintained by the MemoryManager; used by
@@ -96,12 +111,13 @@ class AddressSpace {
   Uid uid_;
   std::string name_;
   AddressSpaceLayout layout_;
-  // The page array is placement-new constructed so owner/vpn/kind are set in
-  // the same pass that first touches each element. `new PageInfo[n]` would
+  uint32_t space_id_ = kInvalidSpaceId;
+  // The arena is placement-new constructed so vpn/kind are set in the same
+  // pass that first touches each element. `new PageInfo[n]` would
   // zero-initialize the whole array (tens of MB for a large app) and then a
   // second loop would rewrite it — at process-start rates that double sweep
   // dominated sweep-runner profiles.
-  std::unique_ptr<PageInfo[], PageArrayDeleter> pages_;
+  std::unique_ptr<PageInfo[], PageArenaDeleter> pages_;
   size_t page_count_ = 0;
   PageCount resident_ = 0;
   PageCount evicted_ = 0;

@@ -4,86 +4,81 @@
 
 namespace ice {
 
-void LruLists::Insert(PageInfo* page) {
-  ICE_CHECK(!List::IsLinked(page));
-  // Newly faulted pages start on the active list (they were just
-  // referenced); aging happens by demotion through Balance(), so the
-  // inactive list is a genuine aging pipeline rather than a parking lot.
-  page->active = true;
-  page->referenced = false;
-  list(PoolOf(*page), true).PushFront(page);
+namespace {
+
+inline void PrefetchPage(const PageInfo* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/1);
+#else
+  (void)p;
+#endif
 }
 
-void LruLists::Remove(PageInfo* page) {
-  if (List::IsLinked(page)) {
-    list(PoolOf(*page), page->active).Remove(page);
-  }
-}
-
-void LruLists::Touch(PageInfo* page) {
-  if (!List::IsLinked(page)) {
-    return;
-  }
-  if (page->active) {
-    page->referenced = true;
-    return;
-  }
-  if (!page->referenced) {
-    // First touch while inactive: set the reference bit only.
-    page->referenced = true;
-    return;
-  }
-  // Second touch while inactive: promote.
-  list(PoolOf(*page), false).Remove(page);
-  page->active = true;
-  page->referenced = false;
-  list(PoolOf(*page), true).PushFront(page);
-}
+}  // namespace
 
 void LruLists::IsolateCandidates(LruPool pool, uint32_t max, uint32_t scan_budget,
                                  const VictimFilter& filter, std::vector<PageInfo*>& out) {
   out.clear();
-  List& inactive = list(pool, false);
-  List& active = list(pool, true);
+  IndexList& inactive = list(pool, false);
+  IndexList& active = list(pool, true);
 
+  // Scan from the inactive tail in gathered batches. Each refill walks the
+  // prev-links for up to kScanBatch candidates and prefetches their records,
+  // so by the time a candidate's flags are inspected its cache line is
+  // (usually) already in flight. Processing a page only ever unlinks *that*
+  // page (isolate), or moves it to the active list (second chance) or the
+  // inactive head (filter rotation) — never a not-yet-processed batch entry —
+  // so the gathered tail segment stays a valid walk of the list.
   uint32_t scanned = 0;
-  while (out.size() < max && scanned < scan_budget && !inactive.empty()) {
-    ++scanned;
-    PageInfo* page = inactive.PopBack();
-    if (page->referenced) {
-      // Second chance: promote to active.
-      page->referenced = false;
-      page->active = true;
-      active.PushFront(page);
-      continue;
+  uint32_t batch[kScanBatch];
+  while (out.size() < max && scanned < scan_budget && inactive.size != 0) {
+    uint32_t batch_len = 0;
+    uint32_t cursor = inactive.tail;
+    while (cursor != kNoPage && batch_len < kScanBatch) {
+      PageInfo& candidate = at(cursor);
+      PrefetchPage(&candidate);
+      batch[batch_len++] = cursor;
+      cursor = candidate.lru.prev;
     }
-    if (filter && filter(*page)) {
-      // Protected (e.g. foreground under Acclaim): rotate to inactive head.
-      inactive.PushFront(page);
-      continue;
+    for (uint32_t i = 0; i < batch_len; ++i) {
+      if (out.size() >= max || scanned >= scan_budget) {
+        return;
+      }
+      ++scanned;
+      PageInfo* page = &at(batch[i]);
+      Unlink(inactive, page);
+      if (page->referenced()) {
+        // Second chance: promote to active.
+        page->set_referenced(false);
+        page->set_active(true);
+        PushFront(active, page);
+        continue;
+      }
+      if (filter && filter(*owner_, *page)) {
+        // Protected (e.g. foreground under Acclaim): rotate to inactive head.
+        PushFront(inactive, page);
+        continue;
+      }
+      out.push_back(page);
     }
-    out.push_back(page);
   }
 }
 
 void LruLists::Balance(LruPool pool) {
-  List& active = list(pool, true);
-  List& inactive = list(pool, false);
+  IndexList& active = list(pool, true);
+  IndexList& inactive = list(pool, false);
   // inactive_is_low: keep inactive >= active / 2 (i.e. at least 1/3 of pool).
-  while (!active.empty() && inactive.size() * 2 < active.size()) {
-    PageInfo* page = active.PopBack();
-    page->active = false;
+  while (active.size != 0 && inactive.size * 2 < active.size) {
+    if (at(active.tail).lru.prev != kNoPage) {
+      PrefetchPage(&at(at(active.tail).lru.prev));
+    }
+    PageInfo* page = PopBack(active);
+    page->set_active(false);
     // Clear the reference bit on demotion: a genuinely hot page earns its
     // way back to the active list through fresh references.
-    page->referenced = false;
-    inactive.PushFront(page);
+    page->set_referenced(false);
+    PushFront(inactive, page);
   }
-}
-
-void LruLists::PutBackInactive(PageInfo* page) {
-  ICE_CHECK(!List::IsLinked(page));
-  page->active = false;
-  list(PoolOf(*page), false).PushFront(page);
 }
 
 }  // namespace ice

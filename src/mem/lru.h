@@ -6,6 +6,13 @@
 // isolates victims from the inactive tail. A pluggable VictimFilter lets the
 // Acclaim baseline implement foreground-aware eviction (FAE) by rotating
 // foreground pages instead of evicting them.
+//
+// The lists are index-linked rather than pointer-linked: every page a
+// LruLists manages lives in one AddressSpace's contiguous arena, so the link
+// stored in PageInfo is the neighbor's vpn (32 bits) and the list header is
+// three 32-bit words. That halves the per-page link footprint versus the
+// intrusive pointer list and keeps a scan hop plus the page's flag word in
+// one cache line.
 #ifndef SRC_MEM_LRU_H_
 #define SRC_MEM_LRU_H_
 
@@ -13,25 +20,42 @@
 #include <functional>
 #include <vector>
 
-#include "src/base/intrusive_list.h"
+#include "src/base/log.h"
 #include "src/mem/page.h"
 
 namespace ice {
 
+class AddressSpace;
+
 enum class LruPool { kAnon, kFile };
 
 inline LruPool PoolOf(const PageInfo& page) {
-  return IsAnon(page.kind) ? LruPool::kAnon : LruPool::kFile;
+  return IsAnon(page.kind()) ? LruPool::kAnon : LruPool::kFile;
 }
 
 class LruLists {
  public:
   // Returns true to *skip* (rotate) the candidate instead of evicting it.
-  using VictimFilter = std::function<bool(const PageInfo&)>;
+  // The owning AddressSpace is passed alongside the page because the packed
+  // PageInfo no longer carries an owner back-pointer.
+  using VictimFilter = std::function<bool(const AddressSpace&, const PageInfo&)>;
 
   LruLists() = default;
 
-  // Adds a newly-present page to the inactive head of its pool.
+  LruLists(const LruLists&) = delete;
+  LruLists& operator=(const LruLists&) = delete;
+
+  // Binds the lists to the arena they link into. Must be called (by the
+  // owning AddressSpace, or a test harness) before any list operation; the
+  // arena must outlive the lists and never move.
+  void BindArena(const AddressSpace* owner, PageInfo* arena) {
+    owner_ = owner;
+    arena_ = arena;
+  }
+
+  // Adds a newly-present page to the active head of its pool. Defined inline
+  // below: Insert/Remove/Touch run once per simulated page access, so they
+  // must inline into the fault path rather than cross a TU boundary.
   void Insert(PageInfo* page);
 
   // Removes a page from whichever list it is on (eviction, process exit).
@@ -49,6 +73,12 @@ class LruLists {
   // by `filter` are rotated to the inactive head and count against
   // `scan_budget`. Isolated pages are unlinked from the LRU; the caller owns
   // their fate.
+  //
+  // The scan walks the inactive tail in cache-line-sized batches: up to
+  // kScanBatch upcoming candidates are gathered (prefetching their metadata)
+  // before any is processed, so the eviction decision never stalls on the
+  // list hop. Processing only ever unlinks the page being processed, which is
+  // why a gathered batch stays valid.
   void IsolateCandidates(LruPool pool, uint32_t max, uint32_t scan_budget,
                          const VictimFilter& filter, std::vector<PageInfo*>& out);
 
@@ -59,8 +89,8 @@ class LruLists {
   // Returns a rejected candidate to the inactive head.
   void PutBackInactive(PageInfo* page);
 
-  size_t active_size(LruPool pool) const { return list(pool, true).size(); }
-  size_t inactive_size(LruPool pool) const { return list(pool, false).size(); }
+  size_t active_size(LruPool pool) const { return list(pool, true).size; }
+  size_t inactive_size(LruPool pool) const { return list(pool, false).size; }
   size_t pool_size(LruPool pool) const {
     return active_size(pool) + inactive_size(pool);
   }
@@ -68,18 +98,129 @@ class LruLists {
     return pool_size(LruPool::kAnon) + pool_size(LruPool::kFile);
   }
 
+  // Candidates gathered (and prefetched) per scan step.
+  static constexpr uint32_t kScanBatch = 8;
+
  private:
-  using List = IntrusiveList<PageInfo, LruTag>;
+  // List header: head/tail arena indices plus a cached size. 12 bytes, so
+  // all four pool lists fit in one cache line.
+  struct IndexList {
+    uint32_t head = kNoPage;
+    uint32_t tail = kNoPage;
+    uint32_t size = 0;
+  };
+  static_assert(sizeof(IndexList) == 12, "list header outgrew its budget");
 
-  List& list(LruPool pool, bool active) {
+  IndexList& list(LruPool pool, bool active) {
     return lists_[static_cast<int>(pool) * 2 + (active ? 1 : 0)];
   }
-  const List& list(LruPool pool, bool active) const {
+  const IndexList& list(LruPool pool, bool active) const {
     return lists_[static_cast<int>(pool) * 2 + (active ? 1 : 0)];
   }
 
-  List lists_[4];
+  PageInfo& at(uint32_t index) { return arena_[index]; }
+
+  void PushFront(IndexList& l, PageInfo* page);
+  void Unlink(IndexList& l, PageInfo* page);
+  PageInfo* PopBack(IndexList& l);
+
+  const AddressSpace* owner_ = nullptr;
+  PageInfo* arena_ = nullptr;
+  IndexList lists_[4];
 };
+
+// ---------------------------------------------------------------------------
+// Hot-path inline definitions. PushFront/Unlink finish all writes to `page`
+// (flag word and links) before touching neighbor records: stores into the
+// arena could alias the page's own fields as far as the compiler knows, so
+// interleaving them forces reloads on the hottest path in the simulator.
+// ---------------------------------------------------------------------------
+
+inline void LruLists::PushFront(IndexList& l, PageInfo* page) {
+  const uint32_t idx = page->vpn;
+  const uint32_t old_head = l.head;
+  page->set_lru_linked(true);
+  page->lru.prev = kNoPage;
+  page->lru.next = old_head;
+  l.head = idx;
+  ++l.size;
+  if (old_head != kNoPage) {
+    at(old_head).lru.prev = idx;
+  } else {
+    l.tail = idx;
+  }
+}
+
+inline void LruLists::Unlink(IndexList& l, PageInfo* page) {
+  ICE_CHECK(page->lru_linked()) << "removing unlinked page";
+  const uint32_t prev = page->lru.prev;
+  const uint32_t next = page->lru.next;
+  page->set_lru_linked(false);
+  page->lru.prev = kNoPage;
+  page->lru.next = kNoPage;
+  --l.size;
+  if (prev != kNoPage) {
+    at(prev).lru.next = next;
+  } else {
+    l.head = next;
+  }
+  if (next != kNoPage) {
+    at(next).lru.prev = prev;
+  } else {
+    l.tail = prev;
+  }
+}
+
+inline PageInfo* LruLists::PopBack(IndexList& l) {
+  if (l.tail == kNoPage) {
+    return nullptr;
+  }
+  PageInfo* page = &at(l.tail);
+  Unlink(l, page);
+  return page;
+}
+
+inline void LruLists::Insert(PageInfo* page) {
+  ICE_CHECK(!page->lru_linked());
+  // Newly faulted pages start on the active list (they were just
+  // referenced); aging happens by demotion through Balance(), so the
+  // inactive list is a genuine aging pipeline rather than a parking lot.
+  page->set_active(true);
+  page->set_referenced(false);
+  PushFront(list(PoolOf(*page), true), page);
+}
+
+inline void LruLists::Remove(PageInfo* page) {
+  if (page->lru_linked()) {
+    Unlink(list(PoolOf(*page), page->active()), page);
+  }
+}
+
+inline void LruLists::Touch(PageInfo* page) {
+  if (!page->lru_linked()) {
+    return;
+  }
+  if (page->active()) {
+    page->set_referenced(true);
+    return;
+  }
+  if (!page->referenced()) {
+    // First touch while inactive: set the reference bit only.
+    page->set_referenced(true);
+    return;
+  }
+  // Second touch while inactive: promote.
+  Unlink(list(PoolOf(*page), false), page);
+  page->set_active(true);
+  page->set_referenced(false);
+  PushFront(list(PoolOf(*page), true), page);
+}
+
+inline void LruLists::PutBackInactive(PageInfo* page) {
+  ICE_CHECK(!page->lru_linked());
+  page->set_active(false);
+  PushFront(list(PoolOf(*page), false), page);
+}
 
 }  // namespace ice
 

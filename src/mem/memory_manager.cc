@@ -68,15 +68,16 @@ void MemoryManager::SyncZramFrames() {
 void MemoryManager::Register(AddressSpace& space) {
   // Lazy population: pages enter the system on first touch.
   for (PageInfo& p : space.pages()) {
-    ICE_CHECK(p.state == PageState::kUntouched);
+    ICE_CHECK(p.state() == PageState::kUntouched);
   }
+  space.set_space_id(next_space_id_++);
   spaces_.push_back(&space);
 }
 
 void MemoryManager::Release(AddressSpace& space) {
   spaces_.erase(std::remove(spaces_.begin(), spaces_.end(), &space), spaces_.end());
   for (PageInfo& p : space.pages()) {
-    switch (p.state) {
+    switch (p.state()) {
       case PageState::kPresent:
         space.lru().Remove(&p);
         ++free_pages_;
@@ -88,16 +89,20 @@ void MemoryManager::Release(AddressSpace& space) {
       case PageState::kFaultingIn: {
         // Abandon the in-flight fault; the completion handler no-ops once the
         // state is reset. Waiters belong to the dying process.
-        pending_faults_.erase(FaultKey{&space, p.vpn});
+        auto it = pending_faults_.find(space.handle_of(p.vpn).packed);
+        if (it != pending_faults_.end()) {
+          RecycleWaiterList(std::move(it->second));
+          pending_faults_.erase(it);
+        }
         break;
       }
       case PageState::kOnFlash:
       case PageState::kUntouched:
         break;
     }
-    p.state = PageState::kUntouched;
-    p.dirty = false;
-    p.referenced = false;
+    p.set_state(PageState::kUntouched);
+    p.set_dirty(false);
+    p.set_referenced(false);
     p.evict_cookie = 0;
   }
   space.AddResident(-static_cast<int64_t>(space.resident()));
@@ -118,11 +123,11 @@ AccessOutcome MemoryManager::Access(AddressSpace& space, uint32_t vpn, bool writ
   PageInfo& p = space.page(vpn);
   bool foreground = space.uid() == foreground_uid_ && foreground_uid_ != kInvalidUid;
 
-  switch (p.state) {
+  switch (p.state()) {
     case PageState::kPresent:
       space.lru().Touch(&p);
-      if (write && p.kind == HeapKind::kFile) {
-        p.dirty = true;
+      if (write && p.kind() == HeapKind::kFile) {
+        p.set_dirty(true);
       }
       outcome.kind = AccessOutcome::Kind::kHit;
       outcome.cpu_us = config_.hit_cost;
@@ -133,9 +138,9 @@ AccessOutcome MemoryManager::Access(AddressSpace& space, uint32_t vpn, bool writ
       outcome.kind = AccessOutcome::Kind::kFirstTouch;
       outcome.cpu_us = config_.fault_fixed_cost + ContentionPenalty();
       TakeFrame(space, outcome);
-      MakePresent(&p);
-      if (write && p.kind == HeapKind::kFile) {
-        p.dirty = true;
+      MakePresent(space, &p);
+      if (write && p.kind() == HeapKind::kFile) {
+        p.set_dirty(true);
       }
       return outcome;
     }
@@ -152,9 +157,9 @@ AccessOutcome MemoryManager::Access(AddressSpace& space, uint32_t vpn, bool writ
       zram_.Drop(&p);
       SyncZramFrames();
       ++*ct_.zram_loads;
-      RecordRefaultStats(p, foreground);
-      shadow_.RecordRefault(&p, engine_.now(), foreground);
-      MakePresent(&p);
+      RecordRefaultStats(space, p, foreground);
+      shadow_.RecordRefault(&p, space, engine_.now(), foreground);
+      MakePresent(space, &p);
       return outcome;
     }
 
@@ -167,14 +172,18 @@ AccessOutcome MemoryManager::Access(AddressSpace& space, uint32_t vpn, bool writ
       TakeFrame(space, outcome);
       // The paper's RPF detects the refault at page-fault time (PTE check),
       // before the I/O completes — so the event fires here.
-      RecordRefaultStats(p, foreground);
-      shadow_.RecordRefault(&p, engine_.now(), foreground);
-      p.state = PageState::kFaultingIn;
+      RecordRefaultStats(space, p, foreground);
+      shadow_.RecordRefault(&p, space, engine_.now(), foreground);
+      p.set_state(PageState::kFaultingIn);
 
-      FaultKey key{&space, vpn};
-      auto& waiters = pending_faults_[key];
+      // The entry itself is created even without a waker: faults_in_flight()
+      // counts primary flash faults by pending_faults_ size.
+      auto [it, inserted] = pending_faults_.try_emplace(space.handle_of(vpn).packed);
+      if (inserted && it->second.capacity() == 0) {
+        it->second = TakeWaiterList();
+      }
       if (waker) {
-        waiters.push_back(waker);
+        it->second.push_back(waker);
       }
       ICE_CHECK(storage_ != nullptr) << "flash fault without a storage device";
 
@@ -187,30 +196,33 @@ AccessOutcome MemoryManager::Access(AddressSpace& space, uint32_t vpn, bool writ
                         vpn - space.last_flash_fault_vpn <= 4;
       space.last_flash_fault_vpn = vpn;
       uint32_t window = sequential ? config_.readahead_pages : 1;
-      std::vector<uint32_t> batch_vpns{vpn};
+      // The readahead batch is the contiguous run [vpn, vpn + batch_pages):
+      // the completion closure carries just the range, so a flash fault
+      // allocates no per-fault vpn list.
+      uint32_t batch_pages = 1;
       for (uint32_t next = vpn + 1;
-           next < space.total_pages() && batch_vpns.size() < window; ++next) {
+           next < space.total_pages() && batch_pages < window; ++next) {
         PageInfo& np = space.page(next);
-        if (np.state != PageState::kOnFlash) {
+        if (np.state() != PageState::kOnFlash) {
           break;
         }
         ++*ct_.page_faults;
-        RecordRefaultStats(np, foreground);
-        shadow_.RecordRefault(&np, engine_.now(), foreground);
+        RecordRefaultStats(space, np, foreground);
+        shadow_.RecordRefault(&np, space, engine_.now(), foreground);
         TakeFrame(space, outcome);
-        np.state = PageState::kFaultingIn;
-        batch_vpns.push_back(next);
+        np.set_state(PageState::kFaultingIn);
+        ++batch_pages;
       }
 
       Bio bio;
       bio.dir = IoDir::kRead;
-      bio.pages = batch_vpns.size();
+      bio.pages = batch_pages;
       bio.foreground = foreground;
       bio.pid = space.pid();
       AddressSpace* sp = &space;
-      bio.on_complete = [this, sp, batch_vpns = std::move(batch_vpns)]() {
-        for (uint32_t v : batch_vpns) {
-          FinishIoFault(sp, v);
+      bio.on_complete = [this, sp, vpn, batch_pages]() {
+        for (uint32_t i = 0; i < batch_pages; ++i) {
+          FinishIoFault(sp, vpn + i);
         }
       };
       storage_->Submit(bio);
@@ -222,7 +234,11 @@ AccessOutcome MemoryManager::Access(AddressSpace& space, uint32_t vpn, bool writ
       outcome.kind = AccessOutcome::Kind::kIoFault;
       outcome.blocked = true;
       if (waker) {
-        pending_faults_[FaultKey{&space, vpn}].push_back(waker);
+        auto [it, inserted] = pending_faults_.try_emplace(space.handle_of(vpn).packed);
+        if (inserted && it->second.capacity() == 0) {
+          it->second = TakeWaiterList();
+        }
+        it->second.push_back(waker);
       }
       return outcome;
     }
@@ -231,51 +247,70 @@ AccessOutcome MemoryManager::Access(AddressSpace& space, uint32_t vpn, bool writ
   return outcome;
 }
 
-void MemoryManager::RecordRefaultStats(const PageInfo& p, bool foreground) {
+MemoryManager::WaiterList MemoryManager::TakeWaiterList() {
+  if (waiter_pool_.empty()) {
+    return {};
+  }
+  WaiterList list = std::move(waiter_pool_.back());
+  waiter_pool_.pop_back();
+  return list;
+}
+
+void MemoryManager::RecycleWaiterList(WaiterList&& waiters) {
+  waiters.clear();
+  if (waiters.capacity() > 0 && waiter_pool_.size() < 64) {
+    waiter_pool_.push_back(std::move(waiters));
+  }
+}
+
+void MemoryManager::RecordRefaultStats(AddressSpace& space, const PageInfo& p,
+                                       bool foreground) {
+  HeapKind kind = p.kind();
   ICE_TRACE(engine_, TraceEventType::kRefault,
-            {.pid = p.owner->pid(),
-             .uid = p.owner->uid(),
+            {.pid = space.pid(),
+             .uid = space.uid(),
              .flags = (foreground ? kTraceFlagForeground : 0) |
-                      (IsAnon(p.kind) ? kTraceFlagAnon : 0),
+                      (IsAnon(kind) ? kTraceFlagAnon : 0),
              .arg0 = p.vpn});
   ++*ct_.refaults;
   ++*(foreground ? ct_.refaults_fg : ct_.refaults_bg);
-  ++*(IsAnon(p.kind) ? ct_.refaults_anon : ct_.refaults_file);
-  if (p.kind == HeapKind::kJavaHeap) {
+  ++*(IsAnon(kind) ? ct_.refaults_anon : ct_.refaults_file);
+  if (kind == HeapKind::kJavaHeap) {
     ++*ct_.refaults_java_heap;
-  } else if (p.kind == HeapKind::kNativeHeap) {
+  } else if (kind == HeapKind::kNativeHeap) {
     ++*ct_.refaults_native_heap;
   }
-  ++p.owner->total_refaults;
+  ++space.total_refaults;
 }
 
-void MemoryManager::MakePresent(PageInfo* page) {
-  ICE_CHECK(page->state != PageState::kPresent);
+void MemoryManager::MakePresent(AddressSpace& space, PageInfo* page) {
+  ICE_CHECK(page->state() != PageState::kPresent);
   bool was_evicted =
-      page->state == PageState::kInZram || page->state == PageState::kFaultingIn ||
-      page->state == PageState::kOnFlash;
-  page->state = PageState::kPresent;
-  page->owner->AddResident(1);
+      page->state() == PageState::kInZram || page->state() == PageState::kFaultingIn ||
+      page->state() == PageState::kOnFlash;
+  page->set_state(PageState::kPresent);
+  space.AddResident(1);
   if (was_evicted) {
-    page->owner->AddEvicted(-1);
+    space.AddEvicted(-1);
   }
-  page->owner->lru().Insert(page);
+  space.lru().Insert(page);
 }
 
 void MemoryManager::FinishIoFault(AddressSpace* space, uint32_t vpn) {
   PageInfo& p = space->page(vpn);
-  if (p.state != PageState::kFaultingIn) {
+  if (p.state() != PageState::kFaultingIn) {
     // Process released while the read was in flight.
     return;
   }
-  MakePresent(&p);
-  auto it = pending_faults_.find(FaultKey{space, vpn});
+  MakePresent(*space, &p);
+  auto it = pending_faults_.find(space->handle_of(vpn).packed);
   if (it != pending_faults_.end()) {
-    std::vector<std::function<void()>> waiters = std::move(it->second);
+    WaiterList waiters = std::move(it->second);
     pending_faults_.erase(it);
     for (auto& w : waiters) {
       w();
     }
+    RecycleWaiterList(std::move(waiters));
   }
 }
 

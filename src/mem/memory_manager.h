@@ -180,13 +180,13 @@ class MemoryManager {
   // evicts up to `target` pages. Shared by kswapd and direct reclaim.
   ReclaimResult ReclaimBatch(PageCount target, bool direct);
 
-  // Evicts one isolated page, attributing it to kswapd or direct reclaim.
-  // Returns false when it could not be evicted (zram full) — the page is put
-  // back on the LRU.
-  bool EvictPage(PageInfo* page, ReclaimResult& result, bool direct);
+  // Evicts one isolated page of `space`, attributing it to kswapd or direct
+  // reclaim. Returns false when it could not be evicted (zram full) — the
+  // page is put back on the LRU.
+  bool EvictPage(AddressSpace& space, PageInfo* page, ReclaimResult& result, bool direct);
 
-  void MakePresent(PageInfo* page);
-  void RecordRefaultStats(const PageInfo& page, bool foreground);
+  void MakePresent(AddressSpace& space, PageInfo* page);
+  void RecordRefaultStats(AddressSpace& space, const PageInfo& page, bool foreground);
   void FinishIoFault(AddressSpace* space, uint32_t vpn);
   void FlushWritebackBatch();
   void MaybeWakeKswapd();
@@ -235,6 +235,7 @@ class MemoryManager {
   void SyncZramFrames();
 
   std::vector<AddressSpace*> spaces_;
+  uint32_t next_space_id_ = 0;  // Assigned at Register; never reused.
   size_t reclaim_cursor_ = 0;  // Rotates fairness across spaces.
   Zram zram_;
   PageCount zram_frames_held_ = 0;
@@ -252,18 +253,18 @@ class MemoryManager {
   // reentry, so only one batch uses it at a time).
   std::vector<PageInfo*> isolate_scratch_;
 
-  // Pages with an in-flight flash read and the tasks waiting on them.
-  struct FaultKey {
-    AddressSpace* space;
-    uint32_t vpn;
-    bool operator==(const FaultKey& o) const { return space == o.space && vpn == o.vpn; }
-  };
-  struct FaultKeyHash {
-    size_t operator()(const FaultKey& k) const {
-      return std::hash<void*>()(k.space) * 31 + k.vpn;
-    }
-  };
-  std::unordered_map<FaultKey, std::vector<std::function<void()>>, FaultKeyHash> pending_faults_;
+  // Pages with an in-flight flash read and the tasks waiting on them, keyed
+  // by the packed {space_id, vpn} handle (the global page-table view of a
+  // page: space ids are per-manager and never reused, so a stale handle can
+  // only miss, never alias).
+  using WaiterList = std::vector<std::function<void()>>;
+  std::unordered_map<uint64_t, WaiterList> pending_faults_;
+
+  // Retired waiter lists, recycled so fault storms do not heap-allocate a
+  // fresh vector per blocked fault.
+  std::vector<WaiterList> waiter_pool_;
+  WaiterList TakeWaiterList();
+  void RecycleWaiterList(WaiterList&& waiters);
 
   // Dirty file pages coalesced into one writeback bio.
   PageCount writeback_pending_ = 0;

@@ -1,15 +1,32 @@
 // Per-page metadata, the simulator's analog of `struct page` + PTE bits.
+//
+// Layout budget: the reclaim scan, LRU rotation and refault path touch this
+// record millions of times per simulated second, so it is packed into a
+// 32-byte slab entry (two per cache line):
+//
+//   PageLinks lru       8 bytes  32-bit index links (vpn within the owning
+//                                AddressSpace arena) instead of 16 bytes of
+//                                intrusive-list pointers
+//   vpn                 4 bytes
+//   zram_bytes          4 bytes  compressed size while in ZRAM
+//   evict_cookie        8 bytes  workingset shadow entry (kept 64-bit: the
+//                                global eviction sequence overflows 32 bits
+//                                on long sweeps)
+//   bits                2 bytes  state:3 | kind:2 | dirty | referenced |
+//                                active | linked
+//
+// The owner back-pointer was removed: every hot path already knows the
+// AddressSpace it is operating on, so call sites pass it explicitly and the
+// record stays within budget. Pages live in one contiguous per-AddressSpace
+// arena and never move (see AddressSpace), so a {space, vpn} handle or a raw
+// PageInfo* is stable for the space's lifetime.
 #ifndef SRC_MEM_PAGE_H_
 #define SRC_MEM_PAGE_H_
 
 #include <cstdint>
-
-#include "src/base/intrusive_list.h"
-#include "src/base/units.h"
+#include <type_traits>
 
 namespace ice {
-
-class AddressSpace;
 
 // Where the page's contents currently live.
 enum class PageState : uint8_t {
@@ -38,36 +55,109 @@ enum class HeapKind : uint8_t {
 
 inline bool IsAnon(HeapKind kind) { return kind != HeapKind::kFile; }
 
-// LRU list membership tag for the intrusive node.
-struct LruTag {};
+// Sentinel for "no page" in the index-linked LRU lists.
+inline constexpr uint32_t kNoPage = UINT32_MAX;
 
-struct PageInfo : ListNode<LruTag> {
-  AddressSpace* owner = nullptr;
+// The LRU link record: 32-bit neighbor indices (vpns into the owning
+// AddressSpace's page arena) — half the size of the pointer-based intrusive
+// node it replaced, so a list hop plus the flag word land in one cache line.
+struct PageLinks {
+  uint32_t prev = kNoPage;
+  uint32_t next = kNoPage;
+};
+
+// A page identity that survives outside the owning AddressSpace: the
+// MemoryManager assigns each registered space a per-manager id and keys
+// cross-space structures (the in-flight fault table) by this packed handle.
+struct PageHandle {
+  uint64_t packed = 0;
+
+  PageHandle() = default;
+  PageHandle(uint32_t space_id, uint32_t vpn)
+      : packed((static_cast<uint64_t>(space_id) << 32) | vpn) {}
+
+  uint32_t space_id() const { return static_cast<uint32_t>(packed >> 32); }
+  uint32_t vpn() const { return static_cast<uint32_t>(packed); }
+  bool operator==(const PageHandle& o) const { return packed == o.packed; }
+};
+
+struct alignas(32) PageInfo {
+  // LRU list membership; managed exclusively by LruLists.
+  PageLinks lru;
+
   uint32_t vpn = 0;
 
-  PageState state = PageState::kUntouched;
-  HeapKind kind = HeapKind::kFile;
-
-  // Dirty file pages need writeback before reclaim; anonymous pages are
-  // always "dirty" in the kernel sense, so the bit is only meaningful for
-  // file pages.
-  bool dirty = false;
-
-  // Second-chance reference bit, set on access, cleared by the reclaim scan.
-  bool referenced = false;
-
-  // Which LRU list the page is on (valid only while linked).
-  bool active = false;
+  // Compressed size while in ZRAM.
+  uint32_t zram_bytes = 0;
 
   // Workingset shadow entry: the global eviction sequence number at the time
   // this page was last evicted, or 0 when the page has never been evicted.
   // A fault on a page with a nonzero cookie is a *refault* and the distance
-  // is (current sequence - cookie), matching mm/workingset.c.
+  // is (current sequence - cookie), matching mm/workingset.c. The shadow
+  // entry is packed into the page record itself (the kernel packs it into
+  // the vacated radix-tree slot), so evictions allocate nothing.
   uint64_t evict_cookie = 0;
 
-  // Compressed size while in ZRAM.
-  uint32_t zram_bytes = 0;
+  PageState state() const { return static_cast<PageState>(bits_ & kStateMask); }
+  void set_state(PageState s) {
+    bits_ = static_cast<uint16_t>((bits_ & ~kStateMask) | static_cast<uint16_t>(s));
+  }
+
+  HeapKind kind() const {
+    return static_cast<HeapKind>((bits_ >> kKindShift) & kKindMask);
+  }
+  void set_kind(HeapKind k) {
+    bits_ = static_cast<uint16_t>((bits_ & ~(kKindMask << kKindShift)) |
+                                  (static_cast<uint16_t>(k) << kKindShift));
+  }
+
+  // Dirty file pages need writeback before reclaim; anonymous pages are
+  // always "dirty" in the kernel sense, so the bit is only meaningful for
+  // file pages.
+  bool dirty() const { return bits_ & kDirtyBit; }
+  void set_dirty(bool v) { SetBit(kDirtyBit, v); }
+
+  // Second-chance reference bit, set on access, cleared by the reclaim scan.
+  bool referenced() const { return bits_ & kReferencedBit; }
+  void set_referenced(bool v) { SetBit(kReferencedBit, v); }
+
+  // Which LRU list the page is on (valid only while linked).
+  bool active() const { return bits_ & kActiveBit; }
+  void set_active(bool v) { SetBit(kActiveBit, v); }
+
+  // Whether the page is on any LRU list (maintained by LruLists).
+  bool lru_linked() const { return bits_ & kLinkedBit; }
+  void set_lru_linked(bool v) { SetBit(kLinkedBit, v); }
+
+ private:
+  static constexpr uint16_t kStateMask = 0x7;
+  static constexpr uint16_t kKindShift = 3;
+  static constexpr uint16_t kKindMask = 0x3;
+  static constexpr uint16_t kDirtyBit = 1u << 5;
+  static constexpr uint16_t kReferencedBit = 1u << 6;
+  static constexpr uint16_t kActiveBit = 1u << 7;
+  static constexpr uint16_t kLinkedBit = 1u << 8;
+
+  void SetBit(uint16_t bit, bool v) {
+    bits_ = static_cast<uint16_t>(v ? (bits_ | bit) : (bits_ & ~bit));
+  }
+
+  uint16_t bits_ = 0;
 };
+
+// The layout budget above is load-bearing: the reclaim scan is memory-bound
+// and sized around two PageInfo records per 64-byte cache line. A new field
+// must either fit the existing padding or earn a redesign — this assert makes
+// the regression loud instead of a silent sweep slowdown.
+static_assert(sizeof(PageInfo) <= 32, "PageInfo outgrew its 32-byte budget");
+// alignas(32) keeps every record inside a single cache line (two records per
+// 64-byte line with a line-aligned arena; see AddressSpace).
+static_assert(alignof(PageInfo) == 32);
+static_assert(sizeof(PageLinks) == 8,
+              "LRU link record must stay two 32-bit indices (one half cache "
+              "line per hop including the flag word)");
+// The arena allocates raw storage and frees it without running destructors.
+static_assert(std::is_trivially_destructible_v<PageInfo>);
 
 }  // namespace ice
 

@@ -88,7 +88,7 @@ ReclaimResult MemoryManager::ReclaimBatch(PageCount target, bool direct) {
       lru.IsolateCandidates(plan.pool, want, want * 4, victim_filter_, isolate_scratch_);
       result.scanned += isolate_scratch_.size();
       for (PageInfo* page : isolate_scratch_) {
-        EvictPage(page, result, direct);
+        EvictPage(*space, page, result, direct);
       }
     }
   }
@@ -110,16 +110,17 @@ ReclaimResult MemoryManager::ReclaimBatch(PageCount target, bool direct) {
   return result;
 }
 
-bool MemoryManager::EvictPage(PageInfo* page, ReclaimResult& result, bool direct) {
-  ICE_CHECK(page->state == PageState::kPresent);
+bool MemoryManager::EvictPage(AddressSpace& space, PageInfo* page, ReclaimResult& result,
+                              bool direct) {
+  ICE_CHECK(page->state() == PageState::kPresent);
 
-  if (IsAnon(page->kind)) {
+  if (IsAnon(page->kind())) {
     if (!zram_.Store(page)) {
       // ZRAM full: the page cannot be evicted; give it back.
-      page->owner->lru().PutBackInactive(page);
+      space.lru().PutBackInactive(page);
       return false;
     }
-    page->state = PageState::kInZram;
+    page->set_state(PageState::kInZram);
     result.cpu_us += zram_.compress_cost() + config_.unmap_cost;
     SyncZramFrames();
     ++*ct_.zram_stores;
@@ -127,11 +128,11 @@ bool MemoryManager::EvictPage(PageInfo* page, ReclaimResult& result, bool direct
     ++*(direct ? ct_.pages_reclaimed_anon_direct : ct_.pages_reclaimed_anon_kswapd);
     ++result.reclaimed_anon;
     ICE_TRACE(engine_, TraceEventType::kZramCompress,
-              {.uid = page->owner->uid(), .arg0 = page->zram_bytes});
+              {.uid = space.uid(), .arg0 = page->zram_bytes});
   } else {
-    if (page->dirty) {
+    if (page->dirty()) {
       ++writeback_pending_;
-      page->dirty = false;
+      page->set_dirty(false);
       result.cpu_us += config_.writeback_submit_cost + config_.unmap_cost;
       if (writeback_pending_ >= config_.writeback_batch) {
         FlushWritebackBatch();
@@ -139,23 +140,23 @@ bool MemoryManager::EvictPage(PageInfo* page, ReclaimResult& result, bool direct
     } else {
       result.cpu_us += config_.discard_cost + config_.unmap_cost;
     }
-    page->state = PageState::kOnFlash;
+    page->set_state(PageState::kOnFlash);
     ++*ct_.pages_reclaimed_file;
     ++*(direct ? ct_.pages_reclaimed_file_direct : ct_.pages_reclaimed_file_kswapd);
     ++result.reclaimed_file;
   }
 
   shadow_.RecordEviction(page);
-  page->owner->AddResident(-1);
-  page->owner->AddEvicted(1);
-  ++page->owner->total_evictions;
+  space.AddResident(-1);
+  space.AddEvicted(1);
+  ++space.total_evictions;
   ++free_pages_;
   ++result.reclaimed;
   ++*ct_.pages_reclaimed;
   ++*(direct ? ct_.pages_reclaimed_direct : ct_.pages_reclaimed_kswapd);
   ICE_TRACE(engine_, TraceEventType::kPageEvict,
-            {.uid = page->owner->uid(),
-             .flags = (IsAnon(page->kind) ? kTraceFlagAnon : 0) |
+            {.uid = space.uid(),
+             .flags = (IsAnon(page->kind()) ? kTraceFlagAnon : 0) |
                       (direct ? kTraceFlagDirect : 0),
              .arg0 = page->vpn});
   return true;
@@ -179,14 +180,14 @@ ReclaimResult MemoryManager::ReclaimAllOf(AddressSpace& space) {
   ICE_CHECK(!in_reclaim_);
   in_reclaim_ = true;
   for (PageInfo& page : space.pages()) {
-    if (page.state != PageState::kPresent) {
+    if (page.state() != PageState::kPresent) {
       continue;
     }
     ++result.scanned;
     space.lru().Remove(&page);
     // Per-process reclaim runs in a daemon context, not an allocating task's:
     // attribute to the non-direct (kswapd-side) buckets.
-    if (!EvictPage(&page, result, /*direct=*/false)) {
+    if (!EvictPage(space, &page, result, /*direct=*/false)) {
       // Put back happened inside EvictPage (zram full); nothing more to do.
       continue;
     }

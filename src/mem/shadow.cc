@@ -12,14 +12,15 @@ void ShadowRegistry::RecordEviction(PageInfo* page) {
   page->evict_cookie = ++eviction_seq_;
 }
 
-RefaultEvent ShadowRegistry::RecordRefault(PageInfo* page, SimTime now, bool foreground) {
+RefaultEvent ShadowRegistry::RecordRefault(PageInfo* page, const AddressSpace& space,
+                                           SimTime now, bool foreground) {
   ICE_CHECK(page != nullptr);
   ICE_CHECK_GT(page->evict_cookie, 0u);
   RefaultEvent event;
   event.time = now;
-  event.pid = page->owner->pid();
-  event.uid = page->owner->uid();
-  event.kind = page->kind;
+  event.pid = space.pid();
+  event.uid = space.uid();
+  event.kind = page->kind();
   event.foreground = foreground;
   event.distance = eviction_seq_ - page->evict_cookie;
   page->evict_cookie = 0;

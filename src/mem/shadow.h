@@ -34,8 +34,16 @@ class RefaultListener {
   virtual void OnRefault(const RefaultEvent& event) = 0;
 };
 
+class AddressSpace;
+
 // Tracks the global eviction sequence and fans refault events out to
 // listeners (ICE's daemon, experiment probes, ...).
+//
+// Shadow entries are packed into the evicted page's own PageInfo record
+// (`evict_cookie`), the way the kernel packs them into the vacated radix-tree
+// slot — recording an eviction or a refault allocates nothing. The owning
+// AddressSpace is passed explicitly because the packed PageInfo carries no
+// owner back-pointer.
 class ShadowRegistry {
  public:
   ShadowRegistry() = default;
@@ -45,7 +53,8 @@ class ShadowRegistry {
 
   // Called on fault-in of a previously evicted page. Returns the populated
   // event (already dispatched to listeners).
-  RefaultEvent RecordRefault(PageInfo* page, SimTime now, bool foreground);
+  RefaultEvent RecordRefault(PageInfo* page, const AddressSpace& space, SimTime now,
+                             bool foreground);
 
   void AddListener(RefaultListener* listener);
   void RemoveListener(RefaultListener* listener);

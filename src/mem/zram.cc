@@ -15,7 +15,7 @@ bool Zram::HasRoom() const {
 
 bool Zram::Store(PageInfo* page) {
   ICE_CHECK(page != nullptr);
-  ICE_CHECK(IsAnon(page->kind)) << "only anonymous pages swap to zram";
+  ICE_CHECK(IsAnon(page->kind())) << "only anonymous pages swap to zram";
   double ratio = std::max(1.05, rng_.LogNormal(config_.mean_ratio, config_.ratio_sigma));
   uint32_t compressed = static_cast<uint32_t>(kPageSize / ratio);
   if (stored_bytes_ + compressed > config_.capacity_bytes) {

@@ -11,9 +11,9 @@ void AcclaimScheme::Install(const SystemRefs& refs) {
   // FAE: rotate foreground-owned candidates back onto the LRU instead of
   // evicting them. The scan budget in the LRU core bounds how long reclaim
   // keeps skipping, mirroring Acclaim's bounded protection.
-  mm->set_victim_filter([mm](const PageInfo& page) {
+  mm->set_victim_filter([mm](const AddressSpace& space, const PageInfo&) {
     Uid fg = mm->foreground_uid();
-    return fg != kInvalidUid && page.owner->uid() == fg;
+    return fg != kInvalidUid && space.uid() == fg;
   });
 }
 

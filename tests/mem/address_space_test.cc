@@ -38,10 +38,9 @@ TEST(AddressSpace, PagesInitialized) {
   AddressSpace space(7, 10002, "app", SmallLayout());
   for (uint32_t vpn = 0; vpn < space.total_pages(); ++vpn) {
     const PageInfo& p = space.page(vpn);
-    EXPECT_EQ(p.owner, &space);
     EXPECT_EQ(p.vpn, vpn);
-    EXPECT_EQ(p.state, PageState::kUntouched);
-    EXPECT_EQ(p.kind, space.KindOf(vpn));
+    EXPECT_EQ(p.state(), PageState::kUntouched);
+    EXPECT_EQ(p.kind(), space.KindOf(vpn));
   }
 }
 

@@ -9,7 +9,9 @@ namespace {
 
 class LruTest : public ::testing::Test {
  protected:
-  LruTest() : space_(1, 1, "t", Layout()) {}
+  LruTest() : space_(1, 1, "t", Layout()) {
+    lru_.BindArena(&space_, space_.pages().data());
+  }
 
   static AddressSpaceLayout Layout() {
     AddressSpaceLayout layout;
@@ -30,7 +32,7 @@ TEST_F(LruTest, InsertGoesToActive) {
   lru_.Insert(AnonPage(0));
   EXPECT_EQ(lru_.active_size(LruPool::kAnon), 1u);
   EXPECT_EQ(lru_.inactive_size(LruPool::kAnon), 0u);
-  EXPECT_TRUE(AnonPage(0)->active);
+  EXPECT_TRUE(AnonPage(0)->active());
   lru_.Remove(AnonPage(0));
 }
 
@@ -53,8 +55,8 @@ TEST_F(LruTest, BalanceDemotesToInactive) {
   EXPECT_GE(lru_.inactive_size(LruPool::kAnon) * 2, lru_.active_size(LruPool::kAnon));
   // Demotion clears the reference bit.
   for (uint32_t i = 0; i < 6; ++i) {
-    if (!AnonPage(i)->active) {
-      EXPECT_FALSE(AnonPage(i)->referenced);
+    if (!AnonPage(i)->active()) {
+      EXPECT_FALSE(AnonPage(i)->referenced());
     }
     lru_.Remove(AnonPage(i));
   }
@@ -71,7 +73,7 @@ TEST_F(LruTest, IsolateTakesUnreferencedFromInactiveTail) {
   lru_.IsolateCandidates(LruPool::kAnon, 2, 8, nullptr, victims);
   EXPECT_EQ(victims.size(), std::min<size_t>(2, inactive));
   for (PageInfo* v : victims) {
-    EXPECT_FALSE((IntrusiveList<PageInfo, LruTag>::IsLinked(v)));
+    EXPECT_FALSE(v->lru_linked());
   }
   // Cleanup.
   for (PageInfo* v : victims) {
@@ -89,7 +91,7 @@ TEST_F(LruTest, SecondChancePromotesReferenced) {
   lru_.Balance(LruPool::kAnon);
   // Touch every inactive page once: sets the reference bit.
   for (uint32_t i = 0; i < 6; ++i) {
-    if (!AnonPage(i)->active) {
+    if (!AnonPage(i)->active()) {
       lru_.Touch(AnonPage(i));
     }
   }
@@ -108,15 +110,15 @@ TEST_F(LruTest, TouchPromotesInactiveOnSecondTouch) {
   lru_.Insert(AnonPage(0));
   lru_.Balance(LruPool::kAnon);
   // Force into inactive.
-  if (AnonPage(0)->active) {
+  if (AnonPage(0)->active()) {
     lru_.Remove(AnonPage(0));
     lru_.PutBackInactive(AnonPage(0));
   }
-  ASSERT_FALSE(AnonPage(0)->active);
+  ASSERT_FALSE(AnonPage(0)->active());
   lru_.Touch(AnonPage(0));  // Sets reference bit.
-  EXPECT_FALSE(AnonPage(0)->active);
+  EXPECT_FALSE(AnonPage(0)->active());
   lru_.Touch(AnonPage(0));  // Promotes.
-  EXPECT_TRUE(AnonPage(0)->active);
+  EXPECT_TRUE(AnonPage(0)->active());
   lru_.Remove(AnonPage(0));
 }
 
@@ -126,7 +128,7 @@ TEST_F(LruTest, VictimFilterRotatesProtectedPages) {
     lru_.Remove(AnonPage(i));
     lru_.PutBackInactive(AnonPage(i));  // All inactive, unreferenced.
   }
-  auto protect_all = [](const PageInfo&) { return true; };
+  auto protect_all = [](const AddressSpace&, const PageInfo&) { return true; };
   std::vector<PageInfo*> victims;
   lru_.IsolateCandidates(LruPool::kAnon, 4, 16, protect_all, victims);
   EXPECT_TRUE(victims.empty());
@@ -141,7 +143,7 @@ TEST_F(LruTest, ScanBudgetBoundsWork) {
     lru_.Insert(AnonPage(i));
     lru_.Remove(AnonPage(i));
     lru_.PutBackInactive(AnonPage(i));
-    AnonPage(i)->referenced = true;  // Everything referenced: all rotate.
+    AnonPage(i)->set_referenced(true);  // Everything referenced: all rotate.
   }
   std::vector<PageInfo*> victims;
   lru_.IsolateCandidates(LruPool::kAnon, 8, 3, nullptr, victims);

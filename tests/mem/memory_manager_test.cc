@@ -48,7 +48,7 @@ TEST_F(MemoryManagerTest, FirstTouchConsumesFrame) {
   EXPECT_FALSE(out.refault);
   EXPECT_EQ(mm_.free_pages(), 1799);
   EXPECT_EQ(space.resident(), 1u);
-  EXPECT_EQ(space.page(0).state, PageState::kPresent);
+  EXPECT_EQ(space.page(0).state(), PageState::kPresent);
   mm_.Release(space);
 }
 
@@ -67,7 +67,7 @@ TEST_F(MemoryManagerTest, WriteMarksFilePageDirty) {
   mm_.Register(space);
   uint32_t file_vpn = space.file_begin();
   mm_.Access(space, file_vpn, /*write=*/true, nullptr);
-  EXPECT_TRUE(space.page(file_vpn).dirty);
+  EXPECT_TRUE(space.page(file_vpn).dirty());
   mm_.Release(space);
 }
 
@@ -77,7 +77,7 @@ TEST_F(MemoryManagerTest, ZramFaultRoundTrip) {
   mm_.Access(space, 0, false, nullptr);
   ReclaimResult r = mm_.ReclaimAllOf(space);
   EXPECT_EQ(r.reclaimed, 1u);
-  EXPECT_EQ(space.page(0).state, PageState::kInZram);
+  EXPECT_EQ(space.page(0).state(), PageState::kInZram);
   EXPECT_EQ(space.resident(), 0u);
   EXPECT_EQ(space.evicted(), 1u);
 
@@ -85,7 +85,7 @@ TEST_F(MemoryManagerTest, ZramFaultRoundTrip) {
   EXPECT_EQ(out.kind, AccessOutcome::Kind::kZramFault);
   EXPECT_TRUE(out.refault);
   EXPECT_FALSE(out.blocked);
-  EXPECT_EQ(space.page(0).state, PageState::kPresent);
+  EXPECT_EQ(space.page(0).state(), PageState::kPresent);
   EXPECT_EQ(engine_.stats().Get(stat::kRefaults), 1u);
   EXPECT_EQ(engine_.stats().Get(stat::kRefaultsBg), 1u);
   mm_.Release(space);
@@ -97,18 +97,18 @@ TEST_F(MemoryManagerTest, FileFaultBlocksUntilIoCompletes) {
   uint32_t file_vpn = space.file_begin();
   mm_.Access(space, file_vpn, false, nullptr);
   mm_.ReclaimAllOf(space);
-  ASSERT_EQ(space.page(file_vpn).state, PageState::kOnFlash);
+  ASSERT_EQ(space.page(file_vpn).state(), PageState::kOnFlash);
 
   bool woken = false;
   AccessOutcome out = mm_.Access(space, file_vpn, false, [&] { woken = true; });
   EXPECT_EQ(out.kind, AccessOutcome::Kind::kIoFault);
   EXPECT_TRUE(out.blocked);
   EXPECT_TRUE(out.refault);
-  EXPECT_EQ(space.page(file_vpn).state, PageState::kFaultingIn);
+  EXPECT_EQ(space.page(file_vpn).state(), PageState::kFaultingIn);
   EXPECT_FALSE(woken);
   engine_.RunFor(Ms(50));
   EXPECT_TRUE(woken);
-  EXPECT_EQ(space.page(file_vpn).state, PageState::kPresent);
+  EXPECT_EQ(space.page(file_vpn).state(), PageState::kPresent);
   mm_.Release(space);
 }
 
@@ -230,7 +230,7 @@ TEST_F(MemoryManagerTest, ReleaseReturnsFrames) {
   EXPECT_EQ(mm_.free_pages(), 1800);
   EXPECT_EQ(space.resident(), 0u);
   for (uint32_t vpn = 0; vpn < 150; ++vpn) {
-    EXPECT_EQ(space.page(vpn).state, PageState::kUntouched);
+    EXPECT_EQ(space.page(vpn).state(), PageState::kUntouched);
   }
 }
 

@@ -82,8 +82,8 @@ TEST_F(ReclaimTest, VictimFilterProtectsForeground) {
   mm_.Register(bg);
   mm_.set_foreground_uid(100);
   // Acclaim's FAE: skip foreground-owned pages.
-  mm_.set_victim_filter([this](const PageInfo& page) {
-    return page.owner->uid() == mm_.foreground_uid();
+  mm_.set_victim_filter([this](const AddressSpace& space, const PageInfo&) {
+    return space.uid() == mm_.foreground_uid();
   });
   TouchAll(fg, 800);
   TouchAll(bg, 800);

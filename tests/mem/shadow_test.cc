@@ -41,7 +41,7 @@ TEST(Shadow, RefaultDistance) {
   shadow.RecordEviction(a);  // seq 1
   shadow.RecordEviction(b);  // seq 2
   shadow.RecordEviction(&space.page(2));  // seq 3
-  RefaultEvent ev = shadow.RecordRefault(a, Us(500), false);
+  RefaultEvent ev = shadow.RecordRefault(a, space, Us(500), false);
   // Two pages were evicted after `a`.
   EXPECT_EQ(ev.distance, 2u);
   EXPECT_EQ(ev.pid, 10);
@@ -57,13 +57,13 @@ TEST(Shadow, ListenersNotified) {
   AddressSpace space(10, 100, "t", SmallLayout());
   PageInfo* p = &space.page(5);  // Native heap region.
   shadow.RecordEviction(p);
-  shadow.RecordRefault(p, Us(1), true);
+  shadow.RecordRefault(p, space, Us(1), true);
   ASSERT_EQ(recorder.events.size(), 1u);
   EXPECT_TRUE(recorder.events[0].foreground);
   EXPECT_EQ(recorder.events[0].kind, HeapKind::kNativeHeap);
   shadow.RemoveListener(&recorder);
   shadow.RecordEviction(p);
-  shadow.RecordRefault(p, Us(2), false);
+  shadow.RecordRefault(p, space, Us(2), false);
   EXPECT_EQ(recorder.events.size(), 1u);
 }
 
@@ -72,7 +72,7 @@ TEST(Shadow, RefaultCountAccumulates) {
   AddressSpace space(10, 100, "t", SmallLayout());
   for (uint32_t i = 0; i < 4; ++i) {
     shadow.RecordEviction(&space.page(i));
-    shadow.RecordRefault(&space.page(i), Us(i), false);
+    shadow.RecordRefault(&space.page(i), space, Us(i), false);
   }
   EXPECT_EQ(shadow.refault_count(), 4u);
 }
@@ -86,8 +86,8 @@ TEST(Shadow, KindClassification) {
   PageInfo* file = &space.page(9);
   shadow.RecordEviction(java);
   shadow.RecordEviction(file);
-  shadow.RecordRefault(java, Us(1), false);
-  shadow.RecordRefault(file, Us(2), false);
+  shadow.RecordRefault(java, space, Us(1), false);
+  shadow.RecordRefault(file, space, Us(2), false);
   ASSERT_EQ(recorder.events.size(), 2u);
   EXPECT_EQ(recorder.events[0].kind, HeapKind::kJavaHeap);
   EXPECT_EQ(recorder.events[1].kind, HeapKind::kFile);

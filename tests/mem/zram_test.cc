@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/mem/address_space.h"
+#include "src/mem/memory_manager.h"
 
 namespace ice {
 namespace {
@@ -106,6 +107,75 @@ TEST(Zram, CostsConfigured) {
   Zram zram(config, Rng(6));
   EXPECT_EQ(zram.compress_cost(), Us(40));
   EXPECT_EQ(zram.decompress_cost(), Us(12));
+}
+
+// The compressed size and shadow cookie live in the open fields of the
+// packed 32-byte PageInfo; every flag mutation goes through the shared bit
+// word. Regression for the bit-packing refactor: flipping every packed flag
+// must leave zram accounting (and the cookie) untouched.
+TEST(Zram, ZramBytesSurvivesBitPacking) {
+  ZramConfig config;
+  config.capacity_bytes = 1 * kMiB;
+  Zram zram(config, Rng(7));
+  AddressSpace space(1, 1, "t", AnonLayout(4));
+  PageInfo* p = &space.page(0);
+  ASSERT_TRUE(zram.Store(p));
+  const uint32_t bytes = p->zram_bytes;
+  ASSERT_GT(bytes, 0u);
+  p->evict_cookie = 0x1234567890abcdefull;
+
+  p->set_state(PageState::kInZram);
+  p->set_kind(HeapKind::kNativeHeap);
+  p->set_dirty(true);
+  p->set_referenced(true);
+  p->set_active(true);
+  p->set_lru_linked(true);
+  EXPECT_EQ(p->zram_bytes, bytes);
+  EXPECT_EQ(p->evict_cookie, 0x1234567890abcdefull);
+  EXPECT_EQ(p->state(), PageState::kInZram);
+  EXPECT_EQ(p->kind(), HeapKind::kNativeHeap);
+
+  p->set_dirty(false);
+  p->set_referenced(false);
+  p->set_active(false);
+  p->set_lru_linked(false);
+  EXPECT_EQ(p->zram_bytes, bytes);
+  EXPECT_EQ(zram.stored_bytes(), bytes);
+
+  p->set_state(PageState::kPresent);
+  zram.Drop(p);
+  EXPECT_EQ(p->zram_bytes, 0u);
+  EXPECT_EQ(zram.stored_bytes(), 0u);
+}
+
+// A fault on an in-zram page must charge the decompression latency to the
+// faulting task's CPU time (the paper's motivation for limiting zram churn).
+TEST(Zram, DecompressCostChargedOnZramFault) {
+  Engine engine(1);
+  MemConfig config;
+  config.total_pages = 2000;
+  config.os_reserved_pages = 200;
+  config.wm = Watermarks::FromHigh(120);
+  config.zram.capacity_bytes = 4 * kMiB;
+  config.zram.decompress_us = Us(17);
+  config.fault_fixed_cost = Us(8);
+  config.reclaim_contention_mean = 0;  // Deterministic costs.
+  MemoryManager mm(engine, config, nullptr);
+
+  AddressSpaceLayout layout;
+  layout.java_pages = 8;
+  AddressSpace space(1, 1, "t", layout);
+  mm.Register(space);
+  mm.Access(space, 0, false, nullptr);
+  ReclaimResult r = mm.ReclaimAllOf(space);
+  ASSERT_EQ(r.reclaimed, 1u);
+  ASSERT_EQ(space.page(0).state(), PageState::kInZram);
+
+  AccessOutcome out = mm.Access(space, 0, false, nullptr);
+  EXPECT_EQ(out.kind, AccessOutcome::Kind::kZramFault);
+  EXPECT_EQ(out.cpu_us, Us(8) + Us(17));
+  EXPECT_EQ(space.page(0).state(), PageState::kPresent);
+  mm.Release(space);
 }
 
 }  // namespace

@@ -98,7 +98,7 @@ TEST_F(BehaviorTest, WorkQueueTouchesFaultAndBlock) {
   uint32_t file_vpn = space.file_begin();
   mm_.Access(space, file_vpn, false, nullptr);
   mm_.ReclaimAllOf(space);
-  ASSERT_EQ(space.page(file_vpn).state, PageState::kOnFlash);
+  ASSERT_EQ(space.page(file_vpn).state(), PageState::kOnFlash);
 
   auto wq = std::make_unique<WorkQueueBehavior>();
   WorkQueueBehavior* q = wq.get();
@@ -117,7 +117,7 @@ TEST_F(BehaviorTest, WorkQueueTouchesFaultAndBlock) {
   // The task must have blocked on the flash read at least briefly.
   engine_.RunFor(Ms(50));
   EXPECT_TRUE(done);
-  EXPECT_EQ(space.page(file_vpn).state, PageState::kPresent);
+  EXPECT_EQ(space.page(file_vpn).state(), PageState::kPresent);
   mm_.Release(space);
 }
 

@@ -154,29 +154,29 @@ TEST_P(PageStateProperty, StatesStayCoherent) {
   uint64_t zram_pages = 0;
   PageCount resident = 0, evicted = 0;
   for (const PageInfo& p : space.pages()) {
-    switch (p.state) {
+    switch (p.state()) {
       case PageState::kPresent:
-        EXPECT_TRUE((IntrusiveList<PageInfo, LruTag>::IsLinked(&p)));
+        EXPECT_TRUE(p.lru_linked());
         EXPECT_EQ(p.zram_bytes, 0u);
         ++resident;
         break;
       case PageState::kInZram:
-        EXPECT_FALSE((IntrusiveList<PageInfo, LruTag>::IsLinked(&p)));
+        EXPECT_FALSE(p.lru_linked());
         EXPECT_GT(p.zram_bytes, 0u);
-        EXPECT_TRUE(IsAnon(p.kind));
+        EXPECT_TRUE(IsAnon(p.kind()));
         EXPECT_GT(p.evict_cookie, 0u);
         zram_pages += 1;
         ++evicted;
         break;
       case PageState::kOnFlash:
-        EXPECT_FALSE((IntrusiveList<PageInfo, LruTag>::IsLinked(&p)));
-        EXPECT_EQ(p.kind, HeapKind::kFile);
+        EXPECT_FALSE(p.lru_linked());
+        EXPECT_EQ(p.kind(), HeapKind::kFile);
         EXPECT_EQ(p.zram_bytes, 0u);
         EXPECT_GT(p.evict_cookie, 0u);
         ++evicted;
         break;
       case PageState::kUntouched:
-        EXPECT_FALSE((IntrusiveList<PageInfo, LruTag>::IsLinked(&p)));
+        EXPECT_FALSE(p.lru_linked());
         EXPECT_EQ(p.evict_cookie, 0u);
         break;
       case PageState::kFaultingIn:
@@ -205,6 +205,7 @@ TEST_P(LruProperty, SizesConserveAndNoDoubleLinks) {
   layout.file_pages = 128;
   AddressSpace space(1, 1, "app", layout);
   LruLists lru;
+  lru.BindArena(&space, space.pages().data());
   Rng rng(GetParam());
 
   std::vector<bool> linked(space.total_pages(), false);

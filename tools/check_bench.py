@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Perf-regression guard for the committed benchmark records.
+
+Compares a fresh google-benchmark JSON run against a committed
+results/BENCH_*.json record: for every microbenchmark pair in the record,
+recompute the before/after speedup from the fresh run and fail if it fell
+more than --tolerance below the committed speedup.
+
+The guard is deliberately ratio-based. Absolute ns/op on shared CI runners
+is meaningless, but legacy and packed implementations run in the same
+process seconds apart, so their ratio survives runner-to-runner variance.
+With the default 25% tolerance a committed 1.4x headline fails only below
+~1.05x — i.e. when the optimized path has genuinely stopped being faster.
+
+Usage:
+  check_bench.py --fresh build/results/BENCH_mm.json \
+                 --committed results/BENCH_mm.json [--tolerance 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_fresh_times(path):
+    """Minimum real_time per benchmark name from a google-benchmark JSON."""
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    for bench in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) when repetitions are on.
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench["name"]
+        # Repetition rows carry a "/repeats:N" style suffix on some versions.
+        name = name.split("/repeats:")[0]
+        t = bench.get("real_time")
+        if t is None:
+            continue
+        if name not in times or t < times[name]:
+            times[name] = t
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fresh", required=True,
+                        help="google-benchmark JSON from the current run")
+    parser.add_argument("--committed", required=True,
+                        help="committed results/BENCH_*.json record")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional drop in speedup (default 0.25)")
+    args = parser.parse_args()
+
+    with open(args.committed) as f:
+        committed = json.load(f)
+    fresh = load_fresh_times(args.fresh)
+
+    failures = []
+    checked = 0
+    for key, entry in committed.get("microbenchmarks", {}).items():
+        before_name = entry["before"]["name"]
+        after_name = entry["after"]["name"]
+        committed_speedup = entry["speedup"]
+        if before_name not in fresh or after_name not in fresh:
+            print(f"SKIP {key}: {before_name} / {after_name} not in fresh run")
+            continue
+        checked += 1
+        fresh_speedup = fresh[before_name] / fresh[after_name]
+        floor = committed_speedup * (1.0 - args.tolerance)
+        status = "ok" if fresh_speedup >= floor else "REGRESSION"
+        print(f"{status:>10}  {key}: committed {committed_speedup:.2f}x, "
+              f"fresh {fresh_speedup:.2f}x (floor {floor:.2f}x)")
+        if fresh_speedup < floor:
+            failures.append(key)
+
+    if checked == 0:
+        print("error: no benchmark pairs matched between fresh and committed")
+        return 1
+    if failures:
+        print(f"\n{len(failures)} perf regression(s): {', '.join(failures)}")
+        return 1
+    print(f"\nall {checked} benchmark pair(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
