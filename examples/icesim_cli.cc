@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "src/harness/experiment.h"
+#include "src/harness/fleet.h"
+#include "src/harness/fleet_report.h"
 #include "src/harness/sweep.h"
 #include "src/harness/sweep_report.h"
 #include "src/ice/daemon.h"
@@ -43,6 +45,11 @@ struct CliOptions {
   std::string seed = "42";
   bool series = false;
   bool sweep = false;
+  bool fleet = false;
+  uint64_t devices = 1000;
+  std::string tiers;  // Empty = the full default ladder.
+  int sessions = 3;
+  uint32_t chunk = 0;
   int jobs = 0;  // 0 = ICE_JOBS env or hardware concurrency.
   std::string out = "cli_sweep";
   bool trace = false;
@@ -72,7 +79,21 @@ void PrintHelp() {
       "                           (--device/--scheme/--scenario/--bg/--seed take\n"
       "                           comma-separated lists) on a worker pool\n"
       "  --jobs=N                 sweep workers (default: ICE_JOBS or all cores)\n"
-      "  --out=NAME               JSON report name: results/NAME.json\n");
+      "  --out=NAME               JSON report name: results/NAME.json\n"
+      "\nfleet mode:\n"
+      "  --fleet                  simulate a device population: every device is a\n"
+      "                           (tier, scheme, seed) cell running a stochastic\n"
+      "                           daily-usage trace; results stream into\n"
+      "                           per-(scheme x tier) histograms\n"
+      "  --devices=N              fleet size (default 1000)\n"
+      "  --tiers=LIST             device tiers (default entry-2g,budget-3g,mid-4g,\n"
+      "                           high-6g,flagship-8g)\n"
+      "  --sessions=N             foreground sessions per device day (default 3)\n"
+      "  --chunk=N                devices per work chunk (default: auto from N;\n"
+      "                           part of the determinism contract — output is\n"
+      "                           byte-identical for any --jobs at fixed chunk)\n"
+      "  --jobs/--scheme/--seed/--out as in sweep mode; report:\n"
+      "                           results/FLEET_NAME.json\n");
 }
 
 bool ParseArg(const char* arg, const char* key, std::string* out) {
@@ -196,6 +217,72 @@ int RunSweep(const CliOptions& opts) {
   return failures == 0 ? 0 : 1;
 }
 
+int RunFleet(const CliOptions& opts) {
+  FleetConfig config;
+  config.devices = opts.devices;
+  config.jobs = opts.jobs;
+  config.chunk = opts.chunk;
+  config.seed = std::strtoull(opts.seed.c_str(), nullptr, 10);
+  config.sessions = opts.sessions;
+  config.schemes = SplitList(opts.scheme);
+  RegisterIceScheme();
+  for (const std::string& s : config.schemes) {
+    if (!SchemeRegistry::Instance().Contains(s)) {
+      std::fprintf(stderr, "unknown scheme '%s'\n", s.c_str());
+      return 2;
+    }
+  }
+  if (!opts.tiers.empty()) {
+    config.tiers = SplitList(opts.tiers);
+    for (const std::string& t : config.tiers) {
+      if (!IsFleetTier(t)) {
+        std::fprintf(stderr, "unknown tier '%s' (known:", t.c_str());
+        for (const std::string& k : FleetTierNames()) {
+          std::fprintf(stderr, " %s", k.c_str());
+        }
+        std::fprintf(stderr, ")\n");
+        return 2;
+      }
+    }
+  }
+
+  FleetRunner runner(config);
+  std::printf("icesim fleet: %llu devices, %zu groups, chunk=%u, %d workers\n",
+              static_cast<unsigned long long>(runner.config().devices),
+              runner.num_groups(), runner.chunk_size(), runner.config().jobs);
+  FleetResult result = runner.Run();
+
+  Table table({"tier", "scheme", "devices", "fps p50", "RIA p50", "lat p99 ms",
+               "refaults/dev", "LMK/dev", "arena MiB"});
+  for (const FleetGroupStats& g : result.groups) {
+    table.AddRow({g.tier, g.scheme, std::to_string(g.devices),
+                  Table::Num(g.fps.Percentile(0.5)),
+                  Table::Pct(g.ria.Percentile(0.5), 1),
+                  Table::Num(g.frame_latency_us.Percentile(0.99) / 1000.0),
+                  Table::Num(g.devices ? static_cast<double>(g.total_refaults) /
+                                             static_cast<double>(g.devices)
+                                       : 0.0, 0),
+                  Table::Num(g.devices ? static_cast<double>(g.total_lmk_kills) /
+                                             static_cast<double>(g.devices)
+                                       : 0.0),
+                  Table::Num(static_cast<double>(g.peak_arena_bytes) / kMiB, 1)});
+  }
+  table.Print();
+  std::printf("fleet wall time: %.1f s; peak metadata arena: %.1f MiB\n",
+              result.wall_seconds,
+              static_cast<double>(result.peak_arena_bytes) / kMiB);
+  if (result.devices_failed > 0) {
+    std::fprintf(stderr, "%llu device(s) failed\n",
+                 static_cast<unsigned long long>(result.devices_failed));
+  }
+
+  std::string path = WriteFleetReport(opts.out, result);
+  if (!path.empty()) {
+    std::printf("report: %s\n", path.c_str());
+  }
+  return result.devices_failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -209,6 +296,16 @@ int main(int argc, char** argv) {
       opts.series = true;
     } else if (std::strcmp(argv[i], "--sweep") == 0) {
       opts.sweep = true;
+    } else if (std::strcmp(argv[i], "--fleet") == 0) {
+      opts.fleet = true;
+    } else if (ParseArg(argv[i], "--devices", &value)) {
+      opts.devices = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseArg(argv[i], "--tiers", &value)) {
+      opts.tiers = value;
+    } else if (ParseArg(argv[i], "--sessions", &value)) {
+      opts.sessions = std::atoi(value.c_str());
+    } else if (ParseArg(argv[i], "--chunk", &value)) {
+      opts.chunk = static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
     } else if (ParseArg(argv[i], "--device", &value)) {
       opts.device = value;
     } else if (ParseArg(argv[i], "--scheme", &value)) {
@@ -240,6 +337,12 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (opts.fleet) {
+    if (opts.out == "cli_sweep") {
+      opts.out = "cli_fleet";
+    }
+    return RunFleet(opts);
+  }
   if (opts.sweep) {
     return RunSweep(opts);
   }

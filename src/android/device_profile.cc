@@ -1,5 +1,6 @@
 #include "src/android/device_profile.h"
 
+#include "src/base/log.h"
 #include "src/storage/flash_profiles.h"
 
 namespace ice {
@@ -37,6 +38,62 @@ DeviceProfile P20Profile() {
 
   d.flash = Ufs21Profile();
   return d;
+}
+
+namespace {
+
+// Shared shape for the extrapolated tiers; the mid/high rungs reuse the
+// calibrated Pixel3/P20 numbers under the tier name.
+DeviceProfile Tier(const char* name, uint64_t ram_mib, uint64_t reserved_mib,
+                   uint64_t wm_high_mib, uint64_t zram_mib, uint64_t hwm_mib,
+                   int bg_apps, double footprint, FlashProfile flash) {
+  DeviceProfile d;
+  d.name = name;
+  d.num_cores = 8;
+  d.mdt_hwm_mib = hwm_mib;
+  d.full_pressure_bg_apps = bg_apps;
+  d.footprint_scale = footprint;
+  d.mem.total_pages = BytesToPages(ram_mib * kMiB);
+  d.mem.os_reserved_pages = BytesToPages(reserved_mib * kMiB);
+  d.mem.wm = Watermarks::FromHigh(BytesToPages(wm_high_mib * kMiB));
+  d.mem.zram.capacity_bytes = zram_mib * kMiB;
+  d.flash = flash;
+  return d;
+}
+
+}  // namespace
+
+std::vector<std::string> FleetTierNames() {
+  return {"entry-2g", "budget-3g", "mid-4g", "high-6g", "flagship-8g"};
+}
+
+bool IsFleetTier(const std::string& name) {
+  for (const std::string& tier : FleetTierNames()) {
+    if (tier == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+DeviceProfile FleetTierProfile(const std::string& name) {
+  if (name == "entry-2g") {
+    return Tier("entry-2g", 2048, 950, 64, 256, 96, 3, 0.75, Emmc45Profile());
+  }
+  if (name == "budget-3g") {
+    return Tier("budget-3g", 3072, 1250, 96, 384, 160, 4, 0.85, Emmc51Profile());
+  }
+  if (name == "mid-4g") {
+    return Tier("mid-4g", 4096, 1600, 120, 512, 256, 6, 0.95, Emmc51Profile());
+  }
+  if (name == "high-6g") {
+    return Tier("high-6g", 6144, 2200, 160, 1024, 1024, 8, 1.22, Ufs21Profile());
+  }
+  if (name == "flagship-8g") {
+    return Tier("flagship-8g", 8192, 2600, 200, 2048, 1536, 10, 1.35, Ufs21Profile());
+  }
+  ICE_CHECK(false) << "unknown fleet tier: " << name;
+  return DeviceProfile{};
 }
 
 }  // namespace ice

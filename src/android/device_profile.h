@@ -3,6 +3,7 @@
 #define SRC_ANDROID_DEVICE_PROFILE_H_
 
 #include <string>
+#include <vector>
 
 #include "src/mem/memory_manager.h"
 #include "src/storage/block_device.h"
@@ -32,6 +33,19 @@ DeviceProfile Pixel3Profile();
 // HUAWEI P20: Kirin 970, 6 GB DDR4, 64 GB UFS 2.1, Android 9.
 // ZRAM 1024 MB, high watermark 1024 (Table 4).
 DeviceProfile P20Profile();
+
+// ---- Fleet device tiers ---------------------------------------------------
+//
+// The fleet's device axis: a RAM-size x storage-class ladder from 2 GB eMMC
+// entry hardware (where LMK and direct reclaim dominate) to an 8 GB UFS
+// flagship (where reclaim is rare). The mid and high tiers carry the
+// calibrated Pixel3 / P20 numbers; the others extrapolate the same knobs in
+// proportion. Names: entry-2g, budget-3g, mid-4g, high-6g, flagship-8g.
+std::vector<std::string> FleetTierNames();
+bool IsFleetTier(const std::string& name);
+// Profile for a tier name; aborts on an unknown tier (callers validate with
+// IsFleetTier first when the name comes from user input).
+DeviceProfile FleetTierProfile(const std::string& name);
 
 }  // namespace ice
 

@@ -1,0 +1,244 @@
+#include "src/harness/fleet.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "src/base/log.h"
+#include "src/harness/experiment.h"
+#include "src/harness/sweep.h"
+#include "src/workload/usage_trace.h"
+
+namespace ice {
+
+void FleetGroupStats::MergeFrom(const FleetGroupStats& other) {
+  devices += other.devices;
+  failures += other.failures;
+  if (other.first_error_device < first_error_device) {
+    first_error_device = other.first_error_device;
+    first_error = other.first_error;
+  }
+  frame_latency_us.Merge(other.frame_latency_us);
+  fps.Merge(other.fps);
+  ria.Merge(other.ria);
+  refaults.Merge(other.refaults);
+  lmk_kills.Merge(other.lmk_kills);
+  total_frames += other.total_frames;
+  total_refaults += other.total_refaults;
+  total_lmk_kills += other.total_lmk_kills;
+  peak_arena_bytes = std::max(peak_arena_bytes, other.peak_arena_bytes);
+}
+
+FleetRunner::FleetRunner(const FleetConfig& config) : config_(config) {
+  if (config_.tiers.empty()) {
+    config_.tiers = FleetTierNames();
+  }
+  for (const std::string& tier : config_.tiers) {
+    ICE_CHECK(IsFleetTier(tier)) << "unknown fleet tier: " << tier;
+  }
+  ICE_CHECK(!config_.schemes.empty());
+  ICE_CHECK_GE(config_.sessions, 1);
+  if (config_.jobs <= 0) {
+    config_.jobs = DefaultSweepJobs();
+  }
+  if (config_.chunk == 0) {
+    // Auto chunking: coarse enough that the ordered fold and queue traffic
+    // are cheap, fine enough that stealing can balance stragglers. A pure
+    // function of the device count — never of jobs — so the per-chunk
+    // double-sum grouping (and hence the output bytes) is shard-independent.
+    config_.chunk = static_cast<uint32_t>(
+        std::clamp<uint64_t>(config_.devices / 64, 1, 256));
+  }
+  chunk_ = config_.chunk;
+}
+
+uint64_t FleetRunner::num_chunks() const {
+  return (config_.devices + chunk_ - 1) / chunk_;
+}
+
+uint64_t FleetRunner::DeviceSeed(uint64_t fleet_seed, uint64_t device_index) {
+  // SplitMix64 with the index folded in; decorrelates neighbouring devices.
+  uint64_t z = fleet_seed + 0x9e3779b97f4a7c15ULL * (device_index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::vector<FleetGroupStats> FleetRunner::MakeAccumulators() const {
+  std::vector<FleetGroupStats> groups(num_groups());
+  for (size_t t = 0; t < config_.tiers.size(); ++t) {
+    for (size_t s = 0; s < config_.schemes.size(); ++s) {
+      FleetGroupStats& g = groups[t * config_.schemes.size() + s];
+      g.tier = config_.tiers[t];
+      g.scheme = config_.schemes[s];
+    }
+  }
+  return groups;
+}
+
+void FleetRunner::RunDevice(uint64_t device_index, FleetGroupStats& group) const {
+  const size_t g = GroupOf(device_index);
+  ExperimentConfig ec;
+  ec.device = FleetTierProfile(config_.tiers[g / config_.schemes.size()]);
+  ec.scheme = config_.schemes[g % config_.schemes.size()];
+  ec.seed = DeviceSeed(config_.seed, device_index);
+  Experiment exp(ec);
+
+  std::vector<UsageTraceRunner::InstalledApp> apps;
+  apps.reserve(exp.catalog().size());
+  for (size_t i = 0; i < exp.catalog().size(); ++i) {
+    apps.push_back({exp.CatalogUids()[i], exp.catalog()[i].category});
+  }
+  UsageTraceRunner::Config tc;
+  tc.days = 1;
+  tc.sessions_per_day = config_.sessions;
+  tc.session_mean = config_.session_mean;
+  tc.session_sigma = config_.session_sigma;
+  // The fleet aggregates endpoint metrics only; disable the per-interval
+  // cumulative samples the Fig 3 study wants.
+  tc.sample_interval = Sec(24 * 3600);
+  UsageTraceRunner runner(exp.am(), exp.choreographer(), std::move(apps),
+                          exp.engine().rng().Fork(), tc);
+  runner.Run();
+
+  const FrameStats& frames = exp.choreographer().stats();
+  for (double latency : frames.latency_us().values()) {
+    group.frame_latency_us.Add(latency);
+  }
+  const SimTime end = exp.engine().now();
+  group.fps.Add(frames.AverageFps(0, end));
+  group.ria.Add(frames.Ria());
+  const StatsRegistry& st = exp.engine().stats();
+  const uint64_t refaults = st.Get(stat::kRefaults);
+  const uint64_t kills = st.Get(stat::kLmkKills);
+  group.refaults.Add(static_cast<double>(refaults));
+  group.lmk_kills.Add(static_cast<double>(kills));
+  group.total_frames += frames.frames_completed();
+  group.total_refaults += refaults;
+  group.total_lmk_kills += kills;
+  group.peak_arena_bytes = std::max(group.peak_arena_bytes, exp.mm().arena_bytes_peak());
+  ++group.devices;
+}
+
+void FleetRunner::RunChunk(uint64_t chunk_index,
+                           std::vector<FleetGroupStats>& partial) const {
+  const uint64_t begin = chunk_index * chunk_;
+  const uint64_t end = std::min(begin + chunk_, config_.devices);
+  for (uint64_t i = begin; i < end; ++i) {
+    FleetGroupStats& g = partial[GroupOf(i)];
+    try {
+      RunDevice(i, g);
+    } catch (const std::exception& e) {
+      ++g.failures;
+      if (i < g.first_error_device) {
+        g.first_error_device = i;
+        g.first_error = e.what();
+      }
+    } catch (...) {
+      ++g.failures;
+      if (i < g.first_error_device) {
+        g.first_error_device = i;
+        g.first_error = "unknown exception";
+      }
+    }
+  }
+}
+
+FleetResult FleetRunner::Run() const {
+  const auto t0 = std::chrono::steady_clock::now();
+  FleetResult result;
+  result.config = config_;
+  result.groups = MakeAccumulators();
+
+  const uint64_t chunks = num_chunks();
+  const int workers =
+      static_cast<int>(std::min<uint64_t>(static_cast<uint64_t>(config_.jobs),
+                                          chunks == 0 ? 1 : chunks));
+
+  // Work-stealing chunk queues: contiguous blocks per worker, own work pops
+  // from the front, steals take from the back of the fullest victim. One
+  // mutex guards the queues — chunks are coarse, so queue traffic is cold.
+  std::mutex queue_mu;
+  std::vector<std::deque<uint64_t>> queues(static_cast<size_t>(workers));
+  for (uint64_t c = 0; c < chunks; ++c) {
+    const size_t w = static_cast<size_t>(c * static_cast<uint64_t>(workers) / chunks);
+    queues[w].push_back(c);
+  }
+  auto pop = [&queue_mu, &queues](size_t self, uint64_t* chunk) {
+    std::lock_guard<std::mutex> lock(queue_mu);
+    if (!queues[self].empty()) {
+      *chunk = queues[self].front();
+      queues[self].pop_front();
+      return true;
+    }
+    size_t victim = queues.size();
+    size_t best = 0;
+    for (size_t i = 0; i < queues.size(); ++i) {
+      if (queues[i].size() > best) {
+        best = queues[i].size();
+        victim = i;
+      }
+    }
+    if (victim == queues.size()) {
+      return false;
+    }
+    *chunk = queues[victim].back();
+    queues[victim].pop_back();
+    return true;
+  };
+
+  // Ordered streaming fold: finished chunk partials wait (bounded by
+  // scheduling skew) until every lower-indexed chunk has folded, so the
+  // reduce order — and therefore every double sum — is independent of which
+  // worker ran what.
+  std::mutex fold_mu;
+  std::map<uint64_t, std::vector<FleetGroupStats>> pending;
+  uint64_t next_fold = 0;
+
+  auto worker_fn = [&, this](size_t self) {
+    uint64_t chunk = 0;
+    while (pop(self, &chunk)) {
+      std::vector<FleetGroupStats> partial = MakeAccumulators();
+      RunChunk(chunk, partial);
+      std::lock_guard<std::mutex> lock(fold_mu);
+      pending.emplace(chunk, std::move(partial));
+      while (!pending.empty() && pending.begin()->first == next_fold) {
+        std::vector<FleetGroupStats>& ready = pending.begin()->second;
+        for (size_t g = 0; g < result.groups.size(); ++g) {
+          result.groups[g].MergeFrom(ready[g]);
+        }
+        pending.erase(pending.begin());
+        ++next_fold;
+      }
+    }
+  };
+
+  if (workers <= 1) {
+    worker_fn(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      threads.emplace_back(worker_fn, static_cast<size_t>(w));
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+  }
+  ICE_CHECK_EQ(next_fold, chunks);
+
+  for (const FleetGroupStats& g : result.groups) {
+    result.devices_failed += g.failures;
+    result.peak_arena_bytes = std::max(result.peak_arena_bytes, g.peak_arena_bytes);
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return result;
+}
+
+}  // namespace ice

@@ -1,0 +1,27 @@
+// Compact JSON export for fleet runs: one results/FLEET_<name>.json per
+// fleet, holding per-(policy x tier) aggregate distributions instead of
+// per-device records. The schema is documented in README.md ("Fleet runs").
+//
+// The report deliberately omits anything nondeterministic (jobs, wall time):
+// two runs of the same fleet configuration must produce byte-identical
+// files for any --jobs=N, and CI diffs them directly.
+#ifndef SRC_HARNESS_FLEET_REPORT_H_
+#define SRC_HARNESS_FLEET_REPORT_H_
+
+#include <string>
+
+#include "src/harness/fleet.h"
+
+namespace ice {
+
+// Serializes one fleet result to a JSON string.
+std::string FleetReportJson(const std::string& name, const FleetResult& result);
+
+// Writes the report to `<dir>/FLEET_<name>.json`, creating `dir` if needed.
+// Returns the written path (empty on I/O failure).
+std::string WriteFleetReport(const std::string& name, const FleetResult& result,
+                             const std::string& dir = "results");
+
+}  // namespace ice
+
+#endif  // SRC_HARNESS_FLEET_REPORT_H_

@@ -62,6 +62,10 @@ class AddressSpace {
   PageHandle handle_of(uint32_t vpn) const { return PageHandle(space_id_, vpn); }
 
   PageCount total_pages() const { return page_count_; }
+  // Bytes of page-metadata arena this space pins for its lifetime; the
+  // MemoryManager aggregates these into live/peak figures so device-memory
+  // headroom claims (and the fleet's low-RAM tiers) are backed by data.
+  size_t arena_bytes() const { return page_count_ * sizeof(PageInfo); }
   PageInfo& page(uint32_t vpn);
   const PageInfo& page(uint32_t vpn) const;
 

@@ -72,10 +72,16 @@ void MemoryManager::Register(AddressSpace& space) {
   }
   space.set_space_id(next_space_id_++);
   spaces_.push_back(&space);
+  arena_bytes_live_ += space.arena_bytes();
+  arena_bytes_peak_ = std::max(arena_bytes_peak_, arena_bytes_live_);
 }
 
 void MemoryManager::Release(AddressSpace& space) {
+  size_t before = spaces_.size();
   spaces_.erase(std::remove(spaces_.begin(), spaces_.end(), &space), spaces_.end());
+  if (spaces_.size() < before) {
+    arena_bytes_live_ -= space.arena_bytes();
+  }
   for (PageInfo& p : space.pages()) {
     switch (p.state()) {
       case PageState::kPresent:

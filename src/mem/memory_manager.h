@@ -166,6 +166,13 @@ class MemoryManager {
   Engine& engine() { return engine_; }
   // All registered address spaces (the "memcg" set reclaim iterates).
   const std::vector<AddressSpace*>& spaces() const { return spaces_; }
+  // Page-metadata arena accounting across registered spaces: the arenas are
+  // sized at construction and pinned, so `live` moves only on
+  // Register/Release and `peak` is the high-water mark — the simulator's own
+  // metadata footprint for this device, surfaced per fleet group so low-RAM
+  // tier claims are backed by data.
+  uint64_t arena_bytes_live() const { return arena_bytes_live_; }
+  uint64_t arena_bytes_peak() const { return arena_bytes_peak_; }
   // Total pages on file LRUs across spaces (for MemAvailable).
   PageCount file_lru_pages() const;
 
@@ -243,6 +250,8 @@ class MemoryManager {
 
   int64_t free_pages_ = 0;
   Uid foreground_uid_ = kInvalidUid;
+  uint64_t arena_bytes_live_ = 0;
+  uint64_t arena_bytes_peak_ = 0;
 
   LruLists::VictimFilter victim_filter_;
   std::function<void()> kswapd_waker_;

@@ -24,4 +24,15 @@ FlashProfile Emmc51Profile() {
   return p;
 }
 
+FlashProfile Emmc45Profile() {
+  FlashProfile p;
+  p.name = "eMMC4.5";
+  p.read_per_page = Us(28);
+  p.write_per_page = Us(70);
+  p.command_overhead = Us(160);
+  p.queue_depth = 4;
+  p.jitter_sigma = 0.35;
+  return p;
+}
+
 }  // namespace ice

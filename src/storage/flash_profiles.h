@@ -13,6 +13,10 @@ FlashProfile Ufs21Profile();
 // eMMC 5.1: half-duplex, shallow queue, ~250 MB/s sequential read class.
 FlashProfile Emmc51Profile();
 
+// Budget eMMC 4.5: the entry-tier storage of the fleet's 2 GB devices —
+// slower medium, higher per-command overhead, more jitter.
+FlashProfile Emmc45Profile();
+
 }  // namespace ice
 
 #endif  // SRC_STORAGE_FLASH_PROFILES_H_

@@ -39,6 +39,32 @@ TEST_F(MemoryManagerTest, FreePagesStartAtUsable) {
   EXPECT_EQ(mm_.free_pages(), 1800);
 }
 
+TEST_F(MemoryManagerTest, ArenaAccountingTracksLiveAndPeak) {
+  EXPECT_EQ(mm_.arena_bytes_live(), 0u);
+  EXPECT_EQ(mm_.arena_bytes_peak(), 0u);
+
+  AddressSpace a(1, 1, "a", Layout(10, 10, 10));
+  AddressSpace b(2, 2, "b", Layout(100, 50, 50));
+  mm_.Register(a);
+  EXPECT_EQ(mm_.arena_bytes_live(), a.arena_bytes());
+  EXPECT_EQ(mm_.arena_bytes_peak(), a.arena_bytes());
+  mm_.Register(b);
+  const uint64_t both = a.arena_bytes() + b.arena_bytes();
+  EXPECT_EQ(mm_.arena_bytes_live(), both);
+  EXPECT_EQ(mm_.arena_bytes_peak(), both);
+
+  // Releasing shrinks the live figure but the peak is a high-water mark.
+  mm_.Release(a);
+  EXPECT_EQ(mm_.arena_bytes_live(), b.arena_bytes());
+  EXPECT_EQ(mm_.arena_bytes_peak(), both);
+  // Releasing an unregistered space must not double-subtract.
+  mm_.Release(a);
+  EXPECT_EQ(mm_.arena_bytes_live(), b.arena_bytes());
+  mm_.Release(b);
+  EXPECT_EQ(mm_.arena_bytes_live(), 0u);
+  EXPECT_EQ(mm_.arena_bytes_peak(), both);
+}
+
 TEST_F(MemoryManagerTest, FirstTouchConsumesFrame) {
   AddressSpace space(1, 1, "a", Layout(10, 10, 10));
   mm_.Register(space);

@@ -15,6 +15,12 @@ With the default 25% tolerance a committed 1.4x headline fails only below
 Usage:
   check_bench.py --fresh build/results/BENCH_mm.json \
                  --committed results/BENCH_mm.json [--tolerance 0.25]
+
+Multiple records can be guarded in one invocation (the CI bench-smoke job
+checks BENCH_mm and BENCH_engine together):
+
+  check_bench.py --pair build/results/BENCH_mm.json results/BENCH_mm.json \
+                 --pair build/results/BENCH_engine.json results/BENCH_engine.json
 """
 
 import argparse
@@ -32,8 +38,11 @@ def load_fresh_times(path):
         if bench.get("run_type") == "aggregate":
             continue
         name = bench["name"]
-        # Repetition rows carry a "/repeats:N" style suffix on some versions.
+        # Repetition rows carry a "/repeats:N" style suffix on some versions,
+        # and ICE_BENCH_ITERS-pinned runs append "/iterations:N". The committed
+        # records use the bare benchmark names.
         name = name.split("/repeats:")[0]
+        name = name.split("/iterations:")[0]
         t = bench.get("real_time")
         if t is None:
             continue
@@ -42,20 +51,13 @@ def load_fresh_times(path):
     return times
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--fresh", required=True,
-                        help="google-benchmark JSON from the current run")
-    parser.add_argument("--committed", required=True,
-                        help="committed results/BENCH_*.json record")
-    parser.add_argument("--tolerance", type=float, default=0.25,
-                        help="allowed fractional drop in speedup (default 0.25)")
-    args = parser.parse_args()
-
-    with open(args.committed) as f:
+def check_record(fresh_path, committed_path, tolerance):
+    """Checks one fresh-vs-committed record; returns (checked, failures)."""
+    with open(committed_path) as f:
         committed = json.load(f)
-    fresh = load_fresh_times(args.fresh)
+    fresh = load_fresh_times(fresh_path)
 
+    print(f"== {committed_path} vs {fresh_path}")
     failures = []
     checked = 0
     for key, entry in committed.get("microbenchmarks", {}).items():
@@ -67,12 +69,43 @@ def main():
             continue
         checked += 1
         fresh_speedup = fresh[before_name] / fresh[after_name]
-        floor = committed_speedup * (1.0 - args.tolerance)
+        floor = committed_speedup * (1.0 - tolerance)
         status = "ok" if fresh_speedup >= floor else "REGRESSION"
         print(f"{status:>10}  {key}: committed {committed_speedup:.2f}x, "
               f"fresh {fresh_speedup:.2f}x (floor {floor:.2f}x)")
         if fresh_speedup < floor:
             failures.append(key)
+    return checked, failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fresh",
+                        help="google-benchmark JSON from the current run")
+    parser.add_argument("--committed",
+                        help="committed results/BENCH_*.json record")
+    parser.add_argument("--pair", nargs=2, action="append", default=[],
+                        metavar=("FRESH", "COMMITTED"),
+                        help="additional fresh/committed record pair; repeatable")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional drop in speedup (default 0.25)")
+    args = parser.parse_args()
+
+    pairs = list(args.pair)
+    if args.fresh or args.committed:
+        if not (args.fresh and args.committed):
+            parser.error("--fresh and --committed must be given together")
+        pairs.insert(0, (args.fresh, args.committed))
+    if not pairs:
+        parser.error("no records to check: give --fresh/--committed or --pair")
+
+    checked = 0
+    failures = []
+    for fresh_path, committed_path in pairs:
+        record_checked, record_failures = check_record(
+            fresh_path, committed_path, args.tolerance)
+        checked += record_checked
+        failures.extend(record_failures)
 
     if checked == 0:
         print("error: no benchmark pairs matched between fresh and committed")
