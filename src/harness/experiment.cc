@@ -162,6 +162,7 @@ ScenarioResult Experiment::RunScenarioForApp(Uid uid, ScenarioKind kind,
   result.freezes = delta[stat::kFreezes];
   result.thaws = delta[stat::kThaws];
   result.lmk_kills = delta[stat::kLmkKills];
+  result.arena_bytes_peak = mm_->arena_bytes_peak();
   uint64_t cap = scheduler_->capacity_us() - cap_before;
   result.cpu_util =
       cap == 0 ? 0.0 : static_cast<double>(scheduler_->busy_us() - busy_before) / cap;

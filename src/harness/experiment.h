@@ -64,6 +64,10 @@ struct ScenarioResult {
   uint64_t freezes = 0;
   uint64_t thaws = 0;
   uint64_t lmk_kills = 0;
+  // High-water mark of the simulator's own page-metadata arenas
+  // (MemoryManager::arena_bytes_peak()) over the experiment lifetime, so
+  // sweep reports carry the same metadata-footprint figure fleet reports do.
+  uint64_t arena_bytes_peak = 0;
   // Filled from the experiment's tracer when tracing is enabled.
   TraceSummary trace;
 };

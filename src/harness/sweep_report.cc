@@ -73,6 +73,7 @@ void AppendCell(std::ostringstream& out, const SweepCell& cell,
       << ", \"io_requests\": " << r.io_requests << ", \"io_bytes\": " << r.io_bytes
       << ", \"cpu_util\": " << JsonNum(r.cpu_util) << ", \"freezes\": " << r.freezes
       << ", \"thaws\": " << r.thaws << ", \"lmk_kills\": " << r.lmk_kills
+      << ", \"arena_bytes_peak\": " << r.arena_bytes_peak
       << ", \"fps_series\": [";
   for (size_t i = 0; i < r.fps_series.size(); ++i) {
     if (i > 0) {

@@ -16,8 +16,8 @@ inline void PrefetchPage(const PageInfo* p) {
 
 }  // namespace
 
-void LruLists::IsolateCandidates(LruPool pool, uint32_t max, uint32_t scan_budget,
-                                 const VictimFilter& filter, std::vector<PageInfo*>& out) {
+uint32_t LruLists::IsolateCandidates(LruPool pool, uint32_t max, uint32_t scan_budget,
+                                     const VictimFilter& filter, std::vector<PageInfo*>& out) {
   out.clear();
   IndexList& inactive = list(pool, false);
   IndexList& active = list(pool, true);
@@ -42,7 +42,7 @@ void LruLists::IsolateCandidates(LruPool pool, uint32_t max, uint32_t scan_budge
     }
     for (uint32_t i = 0; i < batch_len; ++i) {
       if (out.size() >= max || scanned >= scan_budget) {
-        return;
+        return scanned;
       }
       ++scanned;
       PageInfo* page = &at(batch[i]);
@@ -62,6 +62,7 @@ void LruLists::IsolateCandidates(LruPool pool, uint32_t max, uint32_t scan_budge
       out.push_back(page);
     }
   }
+  return scanned;
 }
 
 void LruLists::Balance(LruPool pool) {

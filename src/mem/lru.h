@@ -74,13 +74,18 @@ class LruLists {
   // `scan_budget`. Isolated pages are unlinked from the LRU; the caller owns
   // their fate.
   //
+  // Returns the number of pages examined: isolations PLUS second-chance
+  // promotions and filter rotations. The caller must charge scan cost from
+  // this count, not from out.size() — on a busy device most tail pages are
+  // referenced, so the scan work far exceeds the pages it isolates.
+  //
   // The scan walks the inactive tail in cache-line-sized batches: up to
   // kScanBatch upcoming candidates are gathered (prefetching their metadata)
   // before any is processed, so the eviction decision never stalls on the
   // list hop. Processing only ever unlinks the page being processed, which is
   // why a gathered batch stays valid.
-  void IsolateCandidates(LruPool pool, uint32_t max, uint32_t scan_budget,
-                         const VictimFilter& filter, std::vector<PageInfo*>& out);
+  uint32_t IsolateCandidates(LruPool pool, uint32_t max, uint32_t scan_budget,
+                             const VictimFilter& filter, std::vector<PageInfo*>& out);
 
   // Moves pages from the active tail to the inactive head until the inactive
   // list holds at least half the pool (mirrors inactive_is_low balancing).

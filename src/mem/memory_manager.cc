@@ -89,8 +89,8 @@ void MemoryManager::Release(AddressSpace& space) {
         ++free_pages_;
         break;
       case PageState::kInZram:
+        // Frames-held sync is batched: one SyncZramFrames() after the loop.
         zram_.Drop(&p);
-        SyncZramFrames();
         break;
       case PageState::kFaultingIn: {
         // Abandon the in-flight fault; the completion handler no-ops once the
@@ -113,6 +113,7 @@ void MemoryManager::Release(AddressSpace& space) {
   }
   space.AddResident(-static_cast<int64_t>(space.resident()));
   space.AddEvicted(-static_cast<int64_t>(space.evicted()));
+  SyncZramFrames();
 }
 
 SimDuration MemoryManager::ContentionPenalty() {

@@ -85,10 +85,31 @@ ReclaimResult MemoryManager::ReclaimBatch(PageCount target, bool direct) {
         continue;
       }
       uint32_t want = static_cast<uint32_t>(plan.want);
-      lru.IsolateCandidates(plan.pool, want, want * 4, victim_filter_, isolate_scratch_);
-      result.scanned += isolate_scratch_.size();
+      // Charge the true pages-examined count: second-chance promotions and
+      // filter rotations consume scan budget even though they isolate
+      // nothing, so `scanned` (and the scan_cost charged from it) must come
+      // from the scan itself, not from the victims it yielded.
+      result.scanned +=
+          lru.IsolateCandidates(plan.pool, want, want * 4, victim_filter_, isolate_scratch_);
+      bool store_failed = false;
       for (PageInfo* page : isolate_scratch_) {
-        EvictPage(*space, page, result, direct);
+        if (store_failed && IsAnon(page->kind())) {
+          // A store already failed in this batch: the remaining anonymous
+          // victims cannot fit either, so put them back without burning a
+          // compression attempt (Zram::Store draws its ratio before the
+          // capacity check).
+          lru.PutBackInactive(page);
+          continue;
+        }
+        if (!EvictPage(*space, page, result, direct) && IsAnon(page->kind())) {
+          store_failed = true;
+        }
+      }
+      if (store_failed) {
+        // ZRAM filled up mid-batch: re-check instead of trusting the value
+        // computed before the space loop, so later spaces stop planning anon
+        // shares and churning isolate/put-back on unstorable pages.
+        anon_ok = zram_.HasRoom();
       }
     }
   }
@@ -100,6 +121,11 @@ ReclaimResult MemoryManager::ReclaimBatch(PageCount target, bool direct) {
   reclaim_cursor_ = (reclaim_cursor_ + std::max<size_t>(1, advance)) % n;
 
   result.cpu_us += result.scanned * config_.scan_cost + config_.reclaim_batch_overhead;
+  // One zram-frame sync per batch instead of per evicted page: nothing reads
+  // free_pages_ between evictions of a batch, so deferring the stored-bytes →
+  // frames-held reconciliation to the batch boundary is observation-
+  // equivalent and removes a division from the per-page eviction path.
+  SyncZramFrames();
   FlushWritebackBatch();
 
   ICE_TRACE(engine_, TraceEventType::kReclaimEnd,
@@ -122,7 +148,6 @@ bool MemoryManager::EvictPage(AddressSpace& space, PageInfo* page, ReclaimResult
     }
     page->set_state(PageState::kInZram);
     result.cpu_us += zram_.compress_cost() + config_.unmap_cost;
-    SyncZramFrames();
     ++*ct_.zram_stores;
     ++*ct_.pages_reclaimed_anon;
     ++*(direct ? ct_.pages_reclaimed_anon_direct : ct_.pages_reclaimed_anon_kswapd);
@@ -193,6 +218,7 @@ ReclaimResult MemoryManager::ReclaimAllOf(AddressSpace& space) {
     }
   }
   result.cpu_us += result.scanned * config_.scan_cost;
+  SyncZramFrames();
   FlushWritebackBatch();
   in_reclaim_ = false;
   return result;

@@ -155,6 +155,33 @@ TEST_F(LruTest, ScanBudgetBoundsWork) {
   }
 }
 
+TEST_F(LruTest, IsolateReturnsPagesExaminedNotIsolated) {
+  // Promotions, rotations and isolations must all count as examined pages,
+  // not just the victims. 8 anon pages, all inactive, scan order 0..7.
+  for (uint32_t i = 0; i < 8; ++i) {
+    lru_.Insert(AnonPage(i));
+    lru_.Remove(AnonPage(i));
+    lru_.PutBackInactive(AnonPage(i));  // Head-insert: the tail is page 0.
+  }
+  // Pages 0 and 1 (scanned first, from the tail) are referenced.
+  AnonPage(0)->set_referenced(true);
+  AnonPage(1)->set_referenced(true);
+  // Pages 2 and 3 are filter-protected.
+  auto filter = [](const AddressSpace&, const PageInfo& p) { return p.vpn == 2 || p.vpn == 3; };
+  std::vector<PageInfo*> victims;
+  uint32_t examined = lru_.IsolateCandidates(LruPool::kAnon, 2, 32, filter, victims);
+  // Scan order from the tail: 0 (promote), 1 (promote), 2 (rotate),
+  // 3 (rotate), 4 (isolate), 5 (isolate) -> 6 pages examined, 2 isolated.
+  EXPECT_EQ(victims.size(), 2u);
+  EXPECT_EQ(examined, 6u);
+  for (PageInfo* v : victims) {
+    lru_.PutBackInactive(v);
+  }
+  for (uint32_t i = 0; i < 8; ++i) {
+    lru_.Remove(AnonPage(i));
+  }
+}
+
 TEST_F(LruTest, RemoveIsIdempotentWhenUnlinked) {
   lru_.Remove(AnonPage(0));  // Not linked: no-op, no crash.
   EXPECT_EQ(lru_.total_size(), 0u);

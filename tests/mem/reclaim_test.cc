@@ -274,6 +274,87 @@ TEST_F(ReclaimTest, CursorAdvancesPastAllScannedSpaces) {
   mm.Release(c);
 }
 
+// Scan-accounting regression: second-chance promotions consume scan budget
+// but isolate nothing, so a batch over a referenced-heavy inactive list must
+// report scanned > reclaimed. The pre-fix code charged isolate_scratch_.size()
+// (== reclaimed for clean file pages), hiding the promotion work entirely.
+TEST_F(ReclaimTest, ScannedCountsSecondChancePromotions) {
+  AddressSpace space(1, 1, "a", Layout(0, 0, 600));  // Clean file pages only.
+  mm_.Register(space);
+  TouchAll(space, 600);
+  // Demote a third of the pool (pages 0..199, with page 0 at the scan tail),
+  // then re-touch the 50 tail-most: the batch must wade through 50
+  // second-chance promotions before it can isolate a single victim.
+  space.lru().Balance(LruPool::kFile);
+  ASSERT_GT(space.lru().inactive_size(LruPool::kFile), 49u);
+  TouchAll(space, 50);
+  ReclaimResult r = mm_.KswapdBatch();
+  ASSERT_GT(r.reclaimed, 0u);
+  EXPECT_GT(r.scanned, r.reclaimed);
+  mm_.Release(space);
+}
+
+// Same accounting through the Acclaim victim filter: rotated pages are
+// examined work even though they are never isolated.
+TEST_F(ReclaimTest, ScannedCountsVictimFilterRotations) {
+  AddressSpace space(1, 1, "a", Layout(0, 0, 400));
+  mm_.Register(space);
+  TouchAll(space, 400);
+  // Protect even vpns: half the scanned tail rotates instead of evicting.
+  mm_.set_victim_filter(
+      [](const AddressSpace&, const PageInfo& page) { return page.vpn % 2 == 0; });
+  ReclaimResult r = mm_.KswapdBatch();
+  ASSERT_GT(r.reclaimed, 0u);
+  EXPECT_GT(r.scanned, r.reclaimed);
+  mm_.Release(space);
+}
+
+// ZRAM filling up mid-batch must stop anon planning for the rest of the
+// batch: before the fix, anon_ok was computed once before the space loop, so
+// later spaces kept isolating anonymous pages only to put every one of them
+// back when Store failed — pure churn charged to the batch.
+TEST_F(ReclaimTest, ZramFullMidBatchStopsAnonPlanningForLaterSpaces) {
+  MemConfig config = TinyConfig();
+  config.zram.capacity_bytes = 16 * 1024;  // ~11 compressed pages.
+  MemoryManager mm(engine_, config, &storage_);
+  AddressSpace a(1, 1, "a", Layout(100, 0, 0));  // Anon-only.
+  AddressSpace b(2, 2, "b", Layout(100, 0, 0));  // Anon-only.
+  mm.Register(a);
+  mm.Register(b);
+  for (uint32_t vpn = 0; vpn < 100; ++vpn) {
+    mm.Access(a, vpn, false, nullptr);
+  }
+  for (uint32_t vpn = 0; vpn < 100; ++vpn) {
+    mm.Access(b, vpn, false, nullptr);
+  }
+  // Batch target 32: A's share (16) overflows the zram partway through, so
+  // B's share must be re-planned with zero anon weight — B contributes no
+  // scanning at all (its pool is entirely anonymous).
+  ReclaimResult r = mm.KswapdBatch();
+  ASSERT_GT(r.reclaimed, 0u);
+  ASSERT_LT(r.reclaimed, 16u) << "zram unexpectedly fit the whole share";
+  EXPECT_LE(r.scanned, 16u) << "later space was scanned after the store failure";
+  mm.Release(a);
+  mm.Release(b);
+}
+
+// Batched zram-frame accounting: free_pages_ must reconcile with the frames
+// the compressed store occupies at every batch boundary.
+TEST_F(ReclaimTest, FreePagesReconcileWithZramFramesAfterBatch) {
+  AddressSpace space(1, 1, "a", Layout(400, 0, 0));
+  mm_.Register(space);
+  TouchAll(space, 400);
+  int64_t before = mm_.free_pages();
+  ReclaimResult r = mm_.KswapdBatch();
+  ASSERT_GT(r.reclaimed, 0u);
+  // Every reclaimed anon page frees one frame but the compressed copies
+  // re-occupy BytesToPages(stored) frames, synced once per batch.
+  int64_t expected = before + static_cast<int64_t>(r.reclaimed) -
+                     static_cast<int64_t>(BytesToPages(mm_.zram().stored_bytes()));
+  EXPECT_EQ(mm_.free_pages(), expected);
+  mm_.Release(space);
+}
+
 TEST_F(ReclaimTest, ReclaimedCounterSplitsByType) {
   AddressSpace space(1, 1, "a", Layout(50, 50, 100));
   mm_.Register(space);
