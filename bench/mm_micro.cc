@@ -465,6 +465,24 @@ void BM_PackedReclaimScan(benchmark::State& state) { ReclaimScan<PackedFixture>(
 BENCHMARK(BM_LegacyReclaimScan)->Arg(262144)->Arg(1048576)->Apply(ApplyIters);
 BENCHMARK(BM_PackedReclaimScan)->Arg(262144)->Arg(1048576)->Apply(ApplyIters);
 
+// ---------------------------------------------------------------------------
+// The same reclaim batch under the generation-clock aging policy: Balance is
+// an O(1) counter comparison and the isolate pass is a sequential sweep over
+// the contiguous PageInfo arena instead of a pointer chase along the
+// inactive list. The sweep examines pages in address order, so the hardware
+// prefetcher covers the next records while the current one is inspected —
+// the list walk's serial dependency chain is gone.
+// ---------------------------------------------------------------------------
+
+struct GenClockFixture : PackedFixture {
+  explicit GenClockFixture(uint32_t pages) : PackedFixture(pages) {
+    space.lru().set_aging(AgingPolicy::kGenClock);
+  }
+};
+
+void BM_GenClockReclaimScan(benchmark::State& state) { ReclaimScan<GenClockFixture>(state); }
+BENCHMARK(BM_GenClockReclaimScan)->Arg(262144)->Arg(1048576)->Apply(ApplyIters);
+
 }  // namespace
 }  // namespace ice
 

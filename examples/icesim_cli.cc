@@ -38,6 +38,7 @@ using namespace ice;
 struct CliOptions {
   std::string device = "p20";
   std::string scheme = "lru_cfs";
+  std::string aging = "two_list";
   std::string scenario = "s-b";
   std::string bg = "-1";  // -1 = the device's full-pressure count.
   int duration_s = 30;
@@ -62,6 +63,9 @@ void PrintHelp() {
       "icesim — ICE reproduction simulator\n\n"
       "  --device=p20|pixel3      device profile (default p20)\n"
       "  --scheme=NAME            lru_cfs | ucsg | acclaim | power | ice\n"
+      "  --aging=NAME             page aging policy: two_list (classic LRU,\n"
+      "                           default) | gen_clock (MGLRU-style generation\n"
+      "                           clock); a comma-list sweep axis in sweep mode\n"
       "  --scenario=s-a|s-b|s-c|s-d   video call / short video / scrolling / game\n"
       "  --bg=N                   cached background apps (default: device full pressure)\n"
       "  --duration=SECONDS       measurement window (default 30)\n"
@@ -137,6 +141,16 @@ ScenarioKind KindFromName(const std::string& name) {
   std::exit(2);
 }
 
+// Validates an aging-policy spelling, exiting like the other name parsers.
+void CheckAgingName(const std::string& name) {
+  AgingPolicy policy;
+  if (!AgingPolicyFromName(name, &policy)) {
+    std::fprintf(stderr, "unknown aging policy '%s' (known: two_list gen_clock)\n",
+                 name.c_str());
+    std::exit(2);
+  }
+}
+
 DeviceProfile DeviceFromName(const std::string& name) {
   if (name == "p20") {
     return P20Profile();
@@ -164,6 +178,10 @@ int RunSweep(const CliOptions& opts) {
       std::fprintf(stderr, ")\n");
       return 2;
     }
+  }
+  axes.agings = SplitList(opts.aging);
+  for (const std::string& a : axes.agings) {
+    CheckAgingName(a);
   }
   for (const std::string& s : SplitList(opts.scenario)) {
     axes.scenarios.push_back(KindFromName(s));
@@ -224,6 +242,8 @@ int RunFleet(const CliOptions& opts) {
   config.chunk = opts.chunk;
   config.seed = std::strtoull(opts.seed.c_str(), nullptr, 10);
   config.sessions = opts.sessions;
+  CheckAgingName(opts.aging);
+  config.aging = opts.aging;
   config.schemes = SplitList(opts.scheme);
   RegisterIceScheme();
   for (const std::string& s : config.schemes) {
@@ -310,6 +330,8 @@ int main(int argc, char** argv) {
       opts.device = value;
     } else if (ParseArg(argv[i], "--scheme", &value)) {
       opts.scheme = value;
+    } else if (ParseArg(argv[i], "--aging", &value)) {
+      opts.aging = value;
     } else if (ParseArg(argv[i], "--scenario", &value)) {
       opts.scenario = value;
     } else if (ParseArg(argv[i], "--bg", &value)) {
@@ -350,6 +372,8 @@ int main(int argc, char** argv) {
   ExperimentConfig config;
   config.device = DeviceFromName(opts.device);
   config.scheme = opts.scheme;
+  CheckAgingName(opts.aging);
+  config.aging = opts.aging;
   config.seed = std::strtoull(opts.seed.c_str(), nullptr, 10);
   config.trace = opts.trace;
   config.trace_buffer_pages = opts.trace_buffer_pages;

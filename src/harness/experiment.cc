@@ -23,7 +23,10 @@ Experiment::Experiment(const ExperimentConfig& config) : config_(config) {
     engine_->set_tracer(tracer_.get());
   }
   storage_ = std::make_unique<BlockDevice>(*engine_, config_.device.flash);
-  mm_ = std::make_unique<MemoryManager>(*engine_, config_.device.mem, storage_.get());
+  MemConfig mem_config = config_.device.mem;
+  ICE_CHECK(AgingPolicyFromName(config_.aging, &mem_config.aging))
+      << "unknown aging policy: " << config_.aging;
+  mm_ = std::make_unique<MemoryManager>(*engine_, mem_config, storage_.get());
   scheduler_ = std::make_unique<Scheduler>(*engine_, *mm_, config_.device.num_cores);
   services_ = std::make_unique<SystemServices>(*scheduler_, *mm_, config_.services);
   freezer_ = std::make_unique<Freezer>(*engine_);

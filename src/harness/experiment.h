@@ -35,6 +35,10 @@ struct ExperimentConfig {
   uint64_t seed = 42;
   // "lru_cfs", "ucsg", "acclaim", "power", "ice".
   std::string scheme = "lru_cfs";
+  // Page aging policy: "two_list" (classic active/inactive LRU) or
+  // "gen_clock" (MGLRU-style generation clock). A sweepable axis, orthogonal
+  // to the scheme (any policy scheme runs on either aging substrate).
+  std::string aging = "two_list";
   WorkloadTuning tuning;
   bool extended_catalog = false;  // 40 apps (§3.2 study) instead of 20.
   bool disable_gc = false;        // The "idle runtime GC off" experiment.

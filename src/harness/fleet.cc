@@ -84,6 +84,7 @@ std::vector<FleetGroupStats> FleetRunner::MakeAccumulators() const {
 void FleetRunner::RunDevice(uint64_t device_index, FleetGroupStats& group) const {
   const size_t g = GroupOf(device_index);
   ExperimentConfig ec;
+  ec.aging = config_.aging;
   ec.device = FleetTierProfile(config_.tiers[g / config_.schemes.size()]);
   ec.scheme = config_.schemes[g % config_.schemes.size()];
   ec.seed = DeviceSeed(config_.seed, device_index);

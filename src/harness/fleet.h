@@ -38,6 +38,8 @@ struct FleetConfig {
   uint32_t chunk = 0;  // Devices per chunk; 0 = auto (a function of `devices` only).
   uint64_t seed = 1;   // Fleet seed; per-device seeds are derived from it.
   std::vector<std::string> schemes{"lru_cfs", "ice"};
+  // Page aging policy for every device ("two_list" / "gen_clock").
+  std::string aging = "two_list";
   // Tier names (see FleetTierNames()); empty = the full default ladder.
   std::vector<std::string> tiers;
   // Per-device daily-usage shape: one compressed "day" of foreground

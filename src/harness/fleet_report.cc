@@ -106,8 +106,12 @@ void AppendGroup(std::ostringstream& out, const FleetGroupStats& g) {
 std::string FleetReportJson(const std::string& name, const FleetResult& result) {
   const FleetConfig& c = result.config;
   std::ostringstream out;
-  out << "{\n  \"fleet\": \"" << JsonEscape(name) << "\",\n"
-      << "  \"devices\": " << c.devices << ",\n"
+  out << "{\n  \"fleet\": \"" << JsonEscape(name) << "\",\n";
+  // Emitted only off the default so pre-existing reports stay byte-identical.
+  if (c.aging != "two_list") {
+    out << "  \"aging\": \"" << JsonEscape(c.aging) << "\",\n";
+  }
+  out << "  \"devices\": " << c.devices << ",\n"
       << "  \"chunk\": " << c.chunk << ",\n"
       << "  \"seed\": " << c.seed << ",\n"
       << "  \"sessions\": " << c.sessions << ",\n"

@@ -41,6 +41,10 @@ struct SweepAxes {
   std::vector<ScenarioKind> scenarios;
   std::vector<int> bg_counts;  // -1 = device full-pressure count.
   std::vector<uint64_t> seeds;
+  // Page aging policies ("two_list" / "gen_clock"); empty = base.aging only.
+  // Outermost (slowest) axis, so a grid without it enumerates exactly as
+  // before the axis existed.
+  std::vector<std::string> agings;
   SimDuration duration = Sec(30);
   SimDuration warmup = Sec(240);
   // Applied to every cell before the per-axis fields; lets callers sweep
@@ -48,12 +52,13 @@ struct SweepAxes {
   ExperimentConfig base;
 
   std::vector<SweepCell> Cells() const;
-  // Flat index of (device, scheme, scenario, bg, seed) into Cells().
+  // Flat index of (device, scheme, scenario, bg, seed) into Cells(), within
+  // the first (or only) aging block.
   size_t Index(size_t device, size_t scheme, size_t scenario, size_t bg,
                size_t seed) const;
   size_t size() const {
-    return devices.size() * schemes.size() * scenarios.size() * bg_counts.size() *
-           seeds.size();
+    return (agings.empty() ? 1 : agings.size()) * devices.size() * schemes.size() *
+           scenarios.size() * bg_counts.size() * seeds.size();
   }
 };
 

@@ -55,8 +55,12 @@ void AppendCell(std::ostringstream& out, const SweepCell& cell,
   const ExperimentConfig& c = cell.config;
   int bg = cell.bg_apps >= 0 ? cell.bg_apps : c.device.full_pressure_bg_apps;
   out << "    {\"device\": \"" << JsonEscape(c.device.name) << "\""
-      << ", \"scheme\": \"" << JsonEscape(c.scheme) << "\""
-      << ", \"scenario\": \"" << ScenarioLabel(cell.scenario) << "\""
+      << ", \"scheme\": \"" << JsonEscape(c.scheme) << "\"";
+  // Emitted only off the default so pre-existing reports stay byte-identical.
+  if (c.aging != "two_list") {
+    out << ", \"aging\": \"" << JsonEscape(c.aging) << "\"";
+  }
+  out << ", \"scenario\": \"" << ScenarioLabel(cell.scenario) << "\""
       << ", \"bg_apps\": " << bg << ", \"seed\": " << c.seed
       << ", \"duration_s\": " << JsonNum(ToSeconds(cell.duration))
       << ", \"warmup_s\": " << JsonNum(ToSeconds(cell.warmup))

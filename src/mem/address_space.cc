@@ -22,7 +22,7 @@ AddressSpace::AddressSpace(Pid pid, Uid uid, std::string name, const AddressSpac
     p.set_kind(KindOf(vpn));
   }
   pages_ = std::unique_ptr<PageInfo[], PageArenaDeleter>(pages, PageArenaDeleter{});
-  lru_.BindArena(this, pages);
+  lru_.BindArena(this, pages, page_count_);
 }
 
 PageInfo& AddressSpace::page(uint32_t vpn) {

@@ -18,6 +18,9 @@ inline void PrefetchPage(const PageInfo* p) {
 
 uint32_t LruLists::IsolateCandidates(LruPool pool, uint32_t max, uint32_t scan_budget,
                                      const VictimFilter& filter, std::vector<PageInfo*>& out) {
+  if (aging_ == AgingPolicy::kGenClock) {
+    return GenIsolate(pool, max, scan_budget, filter, out);
+  }
   out.clear();
   IndexList& inactive = list(pool, false);
   IndexList& active = list(pool, true);
@@ -66,6 +69,10 @@ uint32_t LruLists::IsolateCandidates(LruPool pool, uint32_t max, uint32_t scan_b
 }
 
 void LruLists::Balance(LruPool pool) {
+  if (aging_ == AgingPolicy::kGenClock) {
+    GenBalance(pool);
+    return;
+  }
   IndexList& active = list(pool, true);
   IndexList& inactive = list(pool, false);
   // inactive_is_low: keep inactive >= active / 2 (i.e. at least 1/3 of pool).

@@ -1,18 +1,28 @@
-// Global page LRU lists, modeled after the classic Linux two-list design:
-// one active and one inactive list per pool (anonymous, file-backed).
+// Global page aging structure with two selectable policies (AgingPolicy,
+// src/mem/aging.h) behind one facade:
 //
-// Pages enter the inactive list on first touch; a reference while inactive
-// promotes them to active on the next scan (second chance). The reclaim scan
-// isolates victims from the inactive tail. A pluggable VictimFilter lets the
-// Acclaim baseline implement foreground-aware eviction (FAE) by rotating
-// foreground pages instead of evicting them.
+//  * Two-list (default): the classic Linux design — one active and one
+//    inactive list per pool (anonymous, file-backed). Pages enter active on
+//    fault; a reference while inactive promotes them on the next scan
+//    (second chance); the reclaim scan isolates victims from the inactive
+//    tail. Lists are index-linked rather than pointer-linked: every page
+//    lives in one AddressSpace's contiguous arena, so the link stored in
+//    PageInfo is the neighbor's vpn (32 bits) and the list header is three
+//    32-bit words — half the per-page link footprint of an intrusive
+//    pointer list, with a scan hop plus the flag word in one cache line.
 //
-// The lists are index-linked rather than pointer-linked: every page a
-// LruLists manages lives in one AddressSpace's contiguous arena, so the link
-// stored in PageInfo is the neighbor's vpn (32 bits) and the list header is
-// three 32-bit words. That halves the per-page link footprint versus the
-// intrusive pointer list and keeps a scan hop plus the page's flag word in
-// one cache line.
+//  * Gen-clock: an MGLRU-style generation clock (src/mem/gen_clock.cc).
+//    Each pool keeps a 3-bit clock; a linked page stores the clock value of
+//    its last insert/touch in its flag word, and per-generation population
+//    counts replace list sizes. Reclaim sweeps the contiguous arena
+//    sequentially from a persistent hand cursor selecting pages whose
+//    generation lags the clock — no prev-link dependency chain at all, so
+//    the scan streams at memory bandwidth instead of pointer-chase latency.
+//
+// Both policies honor the same VictimFilter hook (the Acclaim baseline's
+// foreground-aware eviction) and the same second-chance reference bit, and
+// both are deterministic: identical operation sequences produce identical
+// victim orders regardless of thread count or wall clock.
 #ifndef SRC_MEM_LRU_H_
 #define SRC_MEM_LRU_H_
 
@@ -21,6 +31,7 @@
 #include <vector>
 
 #include "src/base/log.h"
+#include "src/mem/aging.h"
 #include "src/mem/page.h"
 
 namespace ice {
@@ -47,11 +58,21 @@ class LruLists {
 
   // Binds the lists to the arena they link into. Must be called (by the
   // owning AddressSpace, or a test harness) before any list operation; the
-  // arena must outlive the lists and never move.
-  void BindArena(const AddressSpace* owner, PageInfo* arena) {
+  // arena must outlive the lists and never move. `page_count` bounds the
+  // gen-clock hand sweep (and vpn-indexed links never exceed it).
+  void BindArena(const AddressSpace* owner, PageInfo* arena, uint32_t page_count) {
     owner_ = owner;
     arena_ = arena;
+    page_count_ = page_count;
   }
+
+  // Selects the aging policy. Must be called while no page is linked: the
+  // two representations share no per-page state.
+  void set_aging(AgingPolicy policy) {
+    ICE_CHECK_EQ(total_size(), 0u) << "aging policy change on a populated LRU";
+    aging_ = policy;
+  }
+  AgingPolicy aging() const { return aging_; }
 
   // Adds a newly-present page to the active head of its pool. Defined inline
   // below: Insert/Remove/Touch run once per simulated page access, so they
@@ -79,23 +100,45 @@ class LruLists {
   // this count, not from out.size() — on a busy device most tail pages are
   // referenced, so the scan work far exceeds the pages it isolates.
   //
-  // The scan walks the inactive tail in cache-line-sized batches: up to
-  // kScanBatch upcoming candidates are gathered (prefetching their metadata)
-  // before any is processed, so the eviction decision never stalls on the
-  // list hop. Processing only ever unlinks the page being processed, which is
-  // why a gathered batch stays valid.
+  // Two-list: the scan walks the inactive tail in cache-line-sized batches —
+  // up to kScanBatch upcoming candidates are gathered (prefetching their
+  // metadata) before any is processed, so the eviction decision never stalls
+  // on the list hop. Processing only ever unlinks the page being processed,
+  // which is why a gathered batch stays valid.
+  //
+  // Gen-clock: a sequential sweep of the contiguous arena from a persistent
+  // per-pool hand cursor, selecting linked pages of `pool` whose generation
+  // lags the clock; hops over young/foreign slots are a single flag-word
+  // read on a streamed line and are not charged against `scan_budget`.
   uint32_t IsolateCandidates(LruPool pool, uint32_t max, uint32_t scan_budget,
                              const VictimFilter& filter, std::vector<PageInfo*>& out);
 
-  // Moves pages from the active tail to the inactive head until the inactive
-  // list holds at least half the pool (mirrors inactive_is_low balancing).
+  // Two-list: moves pages from the active tail to the inactive head until
+  // the inactive list holds at least half the pool (inactive_is_low).
+  // Gen-clock: advances the pool clock when the young generation outgrows
+  // twice the old pages — the same ratio at generation granularity.
   void Balance(LruPool pool);
 
   // Returns a rejected candidate to the inactive head.
   void PutBackInactive(PageInfo* page);
 
-  size_t active_size(LruPool pool) const { return list(pool, true).size; }
-  size_t inactive_size(LruPool pool) const { return list(pool, false).size; }
+  // Under gen-clock, "active" means the young (current-clock) generation and
+  // "inactive" every lagging one, so the reclaim weighting in ReclaimBatch
+  // and the inactive_is_low balancing read the same way under both policies.
+  size_t active_size(LruPool pool) const {
+    if (aging_ == AgingPolicy::kGenClock) {
+      const GenState& g = gen(pool);
+      return g.counts[g.clock];
+    }
+    return list(pool, true).size;
+  }
+  size_t inactive_size(LruPool pool) const {
+    if (aging_ == AgingPolicy::kGenClock) {
+      const GenState& g = gen(pool);
+      return g.linked - g.counts[g.clock];
+    }
+    return list(pool, false).size;
+  }
   size_t pool_size(LruPool pool) const {
     return active_size(pool) + inactive_size(pool);
   }
@@ -116,12 +159,26 @@ class LruLists {
   };
   static_assert(sizeof(IndexList) == 12, "list header outgrew its budget");
 
+  // Gen-clock per-pool state: the 3-bit clock, the persistent arena hand
+  // cursor the scan resumes from, the population of each stored generation
+  // value, and the pool's linked total. `counts` is keyed by the raw stored
+  // 3-bit value, so it and the scan always agree on which pages are young —
+  // including after mod-8 aliasing.
+  struct GenState {
+    uint32_t counts[8] = {};
+    uint32_t linked = 0;
+    uint32_t hand = 0;
+    uint8_t clock = 0;
+  };
+
   IndexList& list(LruPool pool, bool active) {
     return lists_[static_cast<int>(pool) * 2 + (active ? 1 : 0)];
   }
   const IndexList& list(LruPool pool, bool active) const {
     return lists_[static_cast<int>(pool) * 2 + (active ? 1 : 0)];
   }
+  GenState& gen(LruPool pool) { return gen_[static_cast<int>(pool)]; }
+  const GenState& gen(LruPool pool) const { return gen_[static_cast<int>(pool)]; }
 
   PageInfo& at(uint32_t index) { return arena_[index]; }
 
@@ -129,9 +186,25 @@ class LruLists {
   void Unlink(IndexList& l, PageInfo* page);
   PageInfo* PopBack(IndexList& l);
 
+  // Gen-clock policy bodies (src/mem/gen_clock.cc). Deliberately out of
+  // line: the two-list Insert/Remove/Touch fast paths below must stay small
+  // enough to inline into the fault path, so the gen-clock branch is a
+  // single predictable test plus a call.
+  void GenInsert(PageInfo* page);
+  void GenRemove(PageInfo* page);
+  void GenTouch(PageInfo* page);
+  void GenPutBackInactive(PageInfo* page);
+  uint32_t GenIsolate(LruPool pool, uint32_t max, uint32_t scan_budget,
+                      const VictimFilter& filter, std::vector<PageInfo*>& out);
+  void GenBalance(LruPool pool);
+  static void GenAdvanceClock(GenState& g);
+
   const AddressSpace* owner_ = nullptr;
   PageInfo* arena_ = nullptr;
+  uint32_t page_count_ = 0;
+  AgingPolicy aging_ = AgingPolicy::kTwoList;
   IndexList lists_[4];
+  GenState gen_[2];
 };
 
 // ---------------------------------------------------------------------------
@@ -187,22 +260,35 @@ inline PageInfo* LruLists::PopBack(IndexList& l) {
 
 inline void LruLists::Insert(PageInfo* page) {
   ICE_CHECK(!page->lru_linked());
-  // Newly faulted pages start on the active list (they were just
-  // referenced); aging happens by demotion through Balance(), so the
-  // inactive list is a genuine aging pipeline rather than a parking lot.
+  // Newly faulted pages start young/active (they were just referenced);
+  // aging happens by Balance() demotion (two-list) or by the pool clock
+  // advancing past them (gen-clock).
   page->set_active(true);
   page->set_referenced(false);
+  if (aging_ == AgingPolicy::kGenClock) {
+    GenInsert(page);
+    return;
+  }
   PushFront(list(PoolOf(*page), true), page);
 }
 
 inline void LruLists::Remove(PageInfo* page) {
-  if (page->lru_linked()) {
-    Unlink(list(PoolOf(*page), page->active()), page);
+  if (!page->lru_linked()) {
+    return;
   }
+  if (aging_ == AgingPolicy::kGenClock) {
+    GenRemove(page);
+    return;
+  }
+  Unlink(list(PoolOf(*page), page->active()), page);
 }
 
 inline void LruLists::Touch(PageInfo* page) {
   if (!page->lru_linked()) {
+    return;
+  }
+  if (aging_ == AgingPolicy::kGenClock) {
+    GenTouch(page);
     return;
   }
   if (page->active()) {
@@ -224,6 +310,10 @@ inline void LruLists::Touch(PageInfo* page) {
 inline void LruLists::PutBackInactive(PageInfo* page) {
   ICE_CHECK(!page->lru_linked());
   page->set_active(false);
+  if (aging_ == AgingPolicy::kGenClock) {
+    GenPutBackInactive(page);
+    return;
+  }
   PushFront(list(PoolOf(*page), false), page);
 }
 

@@ -71,6 +71,7 @@ void MemoryManager::Register(AddressSpace& space) {
     ICE_CHECK(p.state() == PageState::kUntouched);
   }
   space.set_space_id(next_space_id_++);
+  space.lru().set_aging(config_.aging);
   spaces_.push_back(&space);
   arena_bytes_live_ += space.arena_bytes();
   arena_bytes_peak_ = std::max(arena_bytes_peak_, arena_bytes_live_);

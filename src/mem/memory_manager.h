@@ -31,6 +31,10 @@
 namespace ice {
 
 struct MemConfig {
+  // Page aging policy applied to every registered address space (see
+  // src/mem/aging.h): the classic two-list LRU or the MGLRU-style
+  // generation clock.
+  AgingPolicy aging = AgingPolicy::kTwoList;
   PageCount total_pages = BytesToPages(4 * kGiB);
   // Kernel text/data + Android framework residency; never reclaimable.
   PageCount os_reserved_pages = BytesToPages(1200 * kMiB);

@@ -13,7 +13,7 @@
 //                                global eviction sequence overflows 32 bits
 //                                on long sweeps)
 //   bits                2 bytes  state:3 | kind:2 | dirty | referenced |
-//                                active | linked
+//                                active | linked | generation:3
 //
 // The owner back-pointer was removed: every hot path already knows the
 // AddressSpace it is operating on, so call sites pass it explicitly and the
@@ -129,6 +129,20 @@ struct alignas(32) PageInfo {
   bool lru_linked() const { return bits_ & kLinkedBit; }
   void set_lru_linked(bool v) { SetBit(kLinkedBit, v); }
 
+  // Generation number under the gen-clock aging policy (AgingPolicy::
+  // kGenClock): the pool clock value at the page's last insert/touch, valid
+  // only while lru_linked. 3 bits wrapping mod 8 — a page whose stored
+  // generation aliases the advancing clock merely looks young again, which
+  // the counts in LruLists track consistently. Unused (stays 0) under the
+  // two-list policy.
+  uint8_t generation() const {
+    return static_cast<uint8_t>((bits_ >> kGenShift) & kGenMask);
+  }
+  void set_generation(uint8_t gen) {
+    bits_ = static_cast<uint16_t>((bits_ & ~(kGenMask << kGenShift)) |
+                                  (static_cast<uint16_t>(gen & kGenMask) << kGenShift));
+  }
+
  private:
   static constexpr uint16_t kStateMask = 0x7;
   static constexpr uint16_t kKindShift = 3;
@@ -137,6 +151,8 @@ struct alignas(32) PageInfo {
   static constexpr uint16_t kReferencedBit = 1u << 6;
   static constexpr uint16_t kActiveBit = 1u << 7;
   static constexpr uint16_t kLinkedBit = 1u << 8;
+  static constexpr uint16_t kGenShift = 9;
+  static constexpr uint16_t kGenMask = 0x7;  // Bits 9-11; 12-15 still free.
 
   void SetBit(uint16_t bit, bool v) {
     bits_ = static_cast<uint16_t>(v ? (bits_ | bit) : (bits_ & ~bit));

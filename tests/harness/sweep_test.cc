@@ -63,6 +63,50 @@ TEST(SweepRunner, ParallelMatchesSerialCellByCell) {
             SweepReportJson("t", 1, cells, parallel));
 }
 
+TEST(SweepRunner, GenClockAxisIsDeterministicAcrossJobs) {
+  // The generation-clock aging policy must give the same guarantee as the
+  // default: a grid spanning both policies is bit-identical at any worker
+  // count, and the gen-clock cells label themselves in the report.
+  SweepAxes axes;
+  axes.devices = {Pixel3Profile()};
+  axes.schemes = {"lru_cfs", "ice"};
+  axes.agings = {"two_list", "gen_clock"};
+  axes.scenarios = {ScenarioKind::kShortVideo};
+  axes.bg_counts = {2};
+  axes.seeds = {7};
+  axes.duration = Sec(3);
+  axes.warmup = Sec(2);
+  std::vector<SweepCell> cells = axes.Cells();
+  ASSERT_EQ(cells.size(), 4u);
+  std::vector<CellOutcome> serial = SweepRunner(1).Run(cells);
+  std::vector<CellOutcome> parallel = SweepRunner(4).Run(cells);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    ASSERT_TRUE(serial[i].ok) << serial[i].error;
+    ASSERT_TRUE(parallel[i].ok) << parallel[i].error;
+    ExpectIdentical(serial[i].value, parallel[i].value);
+  }
+  std::string json = SweepReportJson("t", 1, cells, serial);
+  EXPECT_EQ(json, SweepReportJson("t", 1, cells, parallel));
+  EXPECT_NE(json.find("\"aging\": \"gen_clock\""), std::string::npos);
+}
+
+TEST(SweepAxes, EmptyAgingAxisKeepsCellCountAndOmitsLabel) {
+  // Pre-gen-clock grids must enumerate exactly as before: no agings axis
+  // means one block of cells with the base (default) policy, and the report
+  // never mentions aging (byte-compat with archived sweep artifacts).
+  std::vector<SweepCell> cells = TestCells();
+  EXPECT_EQ(cells.size(), 4u);
+  for (const SweepCell& cell : cells) {
+    EXPECT_EQ(cell.config.aging, "two_list");
+  }
+  std::vector<CellOutcome> outcomes(cells.size());
+  for (auto& o : outcomes) {
+    o.ok = true;
+  }
+  EXPECT_EQ(SweepReportJson("t", 1, cells, outcomes).find("\"aging\""),
+            std::string::npos);
+}
+
 TEST(SweepRunner, OrderingIndependentOfJobs) {
   // Later indices finish first (decreasing sleep), so any runner that
   // returned results in completion order would invert the ordering.

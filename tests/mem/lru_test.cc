@@ -10,7 +10,8 @@ namespace {
 class LruTest : public ::testing::Test {
  protected:
   LruTest() : space_(1, 1, "t", Layout()) {
-    lru_.BindArena(&space_, space_.pages().data());
+    lru_.BindArena(&space_, space_.pages().data(),
+                   static_cast<uint32_t>(space_.pages().size()));
   }
 
   static AddressSpaceLayout Layout() {

@@ -205,7 +205,8 @@ TEST_P(LruProperty, SizesConserveAndNoDoubleLinks) {
   layout.file_pages = 128;
   AddressSpace space(1, 1, "app", layout);
   LruLists lru;
-  lru.BindArena(&space, space.pages().data());
+  lru.BindArena(&space, space.pages().data(),
+                static_cast<uint32_t>(space.pages().size()));
   Rng rng(GetParam());
 
   std::vector<bool> linked(space.total_pages(), false);
