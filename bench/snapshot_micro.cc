@@ -1,0 +1,65 @@
+// Warm-prefix forking, end to end: a fig9-style bg-scaling column (one
+// scheme, one scenario, bg = 2/4/6, shared caching prefix) swept cold
+// versus forked from donor snapshots. The win is the caching work that no
+// longer repeats: cold runs re-cache 2+4+6 = 12 background apps, the shared
+// sweep caches 6 in one donor and restores the other cells from its
+// snapshots. Results are byte-identical either way (the determinism gate in
+// tests/harness/prefix_sweep_test.cc), so the ratio here is pure wall-clock.
+//
+// Serial runner on purpose: the guarded ratio should measure the work
+// removed by prefix sharing, not how a particular core count overlaps the
+// donor phase with cold cells.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/harness/sweep.h"
+
+namespace ice {
+namespace {
+
+// One fig9 column, scaled down to bench length. The three bg counts share
+// one caching prefix, which is the grid shape the paper's figures sweep.
+std::vector<SweepCell> Fig9StyleCells() {
+  SweepAxes axes;
+  axes.devices = {Pixel3Profile()};
+  axes.schemes = {"lru_cfs"};
+  axes.scenarios = {ScenarioKind::kShortVideo};
+  axes.bg_counts = {2, 4, 6};
+  axes.seeds = {7};
+  axes.duration = Sec(3);
+  axes.warmup = Sec(2);
+  return axes.Cells();
+}
+
+void RunGrid(benchmark::State& state, int jobs, bool share_prefix) {
+  std::vector<SweepCell> cells = Fig9StyleCells();
+  SweepRunner runner(jobs);
+  for (auto _ : state) {
+    std::vector<CellOutcome> outcomes = runner.Run(cells, share_prefix);
+    for (const CellOutcome& o : outcomes) {
+      if (!o.ok) {
+        state.SkipWithError(o.error.c_str());
+        return;
+      }
+    }
+    benchmark::DoNotOptimize(outcomes);
+  }
+}
+
+void BM_Fig9GridCold(benchmark::State& state) { RunGrid(state, 1, false); }
+void BM_Fig9GridShared(benchmark::State& state) { RunGrid(state, 1, true); }
+// The parallel pair shows how the donor barrier interacts with a worker
+// pool; not ratio-guarded (worker scheduling on shared runners is noisy).
+void BM_Fig9GridColdJ4(benchmark::State& state) { RunGrid(state, 4, false); }
+void BM_Fig9GridSharedJ4(benchmark::State& state) { RunGrid(state, 4, true); }
+
+BENCHMARK(BM_Fig9GridCold)->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+BENCHMARK(BM_Fig9GridShared)->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+BENCHMARK(BM_Fig9GridColdJ4)->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+BENCHMARK(BM_Fig9GridSharedJ4)->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+
+}  // namespace
+}  // namespace ice
+
+BENCHMARK_MAIN();

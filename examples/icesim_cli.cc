@@ -17,6 +17,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -53,6 +55,9 @@ struct CliOptions {
   uint32_t chunk = 0;
   int jobs = 0;  // 0 = ICE_JOBS env or hardware concurrency.
   std::string out = "cli_sweep";
+  bool share_prefix = true;
+  std::string snapshot_path;  // Save a post-caching snapshot here.
+  std::string restore_path;   // Start from a saved snapshot instead of caching.
   bool trace = false;
   std::string trace_path = "results/trace.json";
   uint32_t trace_buffer_pages = kDefaultTraceBufferPages;
@@ -78,11 +83,20 @@ void PrintHelp() {
       "                           trace summary into the report\n"
       "  --trace-buffer-pages=N   ring capacity in 4 KiB pages (default 1024;\n"
       "                           overflow drops the oldest events)\n"
+      "\nsnapshots (single-run mode):\n"
+      "  --snapshot=PATH          after caching the background apps, save the\n"
+      "                           complete simulator state to PATH and continue\n"
+      "  --restore=PATH           resume from a snapshot saved with the same\n"
+      "                           configuration flags; the run is byte-identical\n"
+      "                           to the uninterrupted one\n"
       "\nsweep mode:\n"
       "  --sweep                  run the cross product of the list-valued flags\n"
       "                           (--device/--scheme/--scenario/--bg/--seed take\n"
       "                           comma-separated lists) on a worker pool\n"
       "  --jobs=N                 sweep workers (default: ICE_JOBS or all cores)\n"
+      "  --share-prefix=on|off    fork cells that differ only in --bg from one\n"
+      "                           warmed snapshot instead of re-running the shared\n"
+      "                           caching prefix (default on; results identical)\n"
       "  --out=NAME               JSON report name: results/NAME.json\n"
       "\nfleet mode:\n"
       "  --fleet                  simulate a device population: every device is a\n"
@@ -202,8 +216,9 @@ int RunSweep(const CliOptions& opts) {
 
   SweepRunner runner(opts.jobs);
   std::vector<SweepCell> cells = axes.Cells();
-  std::printf("icesim sweep: %zu cells on %d workers\n", cells.size(), runner.jobs());
-  std::vector<CellOutcome> outcomes = runner.Run(cells);
+  std::printf("icesim sweep: %zu cells on %d workers%s\n", cells.size(), runner.jobs(),
+              opts.share_prefix ? ", shared caching prefixes" : "");
+  std::vector<CellOutcome> outcomes = runner.Run(cells, opts.share_prefix);
 
   Table table({"device", "scheme", "scenario", "bg", "seed", "fps", "RIA", "refaults",
                "reclaims", "CPU"});
@@ -344,6 +359,20 @@ int main(int argc, char** argv) {
       opts.seed = value;
     } else if (ParseArg(argv[i], "--jobs", &value)) {
       opts.jobs = std::atoi(value.c_str());
+    } else if (ParseArg(argv[i], "--share-prefix", &value)) {
+      if (value == "on") {
+        opts.share_prefix = true;
+      } else if (value == "off") {
+        opts.share_prefix = false;
+      } else {
+        std::fprintf(stderr, "--share-prefix takes 'on' or 'off', got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+    } else if (ParseArg(argv[i], "--snapshot", &value)) {
+      opts.snapshot_path = value;
+    } else if (ParseArg(argv[i], "--restore", &value)) {
+      opts.restore_path = value;
     } else if (ParseArg(argv[i], "--out", &value)) {
       opts.out = value;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
@@ -381,17 +410,66 @@ int main(int argc, char** argv) {
   int bg_opt = std::atoi(opts.bg.c_str());
   int bg = bg_opt >= 0 ? bg_opt : config.device.full_pressure_bg_apps;
 
-  std::printf("icesim: %s on %s, scheme=%s, %d BG apps, %ds after %ds warmup, seed=%llu\n",
-              ScenarioName(kind), config.device.name.c_str(), opts.scheme.c_str(), bg,
-              opts.duration_s, opts.warmup_s, static_cast<unsigned long long>(config.seed));
-
-  Experiment exp(config);
-  Uid fg = exp.UidOf(ScenarioPackage(kind));
-  if (bg > 0) {
-    exp.CacheBackgroundApps(bg, {fg});
+  if (opts.restore_path.empty()) {
+    std::printf("icesim: %s on %s, scheme=%s, %d BG apps, %ds after %ds warmup, seed=%llu\n",
+                ScenarioName(kind), config.device.name.c_str(), opts.scheme.c_str(), bg,
+                opts.duration_s, opts.warmup_s, static_cast<unsigned long long>(config.seed));
+  } else {
+    std::printf("icesim: %s on %s, scheme=%s, BG apps from %s, %ds after %ds warmup, seed=%llu\n",
+                ScenarioName(kind), config.device.name.c_str(), opts.scheme.c_str(),
+                opts.restore_path.c_str(), opts.duration_s, opts.warmup_s,
+                static_cast<unsigned long long>(config.seed));
   }
-  ScenarioResult r = exp.RunScenario(kind, Sec(static_cast<uint64_t>(opts.duration_s)),
-                                     Sec(static_cast<uint64_t>(opts.warmup_s)));
+
+  std::unique_ptr<Experiment> exp;
+  if (!opts.restore_path.empty()) {
+    // Resume from the saved post-caching boundary: the snapshot carries the
+    // cached apps, so --bg is ignored and caching is skipped entirely.
+    try {
+      exp = Experiment::RestoreSnapshotFromFile(config, opts.restore_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "restore failed: %s\n", e.what());
+      return 1;
+    }
+    exp->FinishCaching();
+  } else {
+    exp = std::make_unique<Experiment>(config);
+    Uid fg = exp->UidOf(ScenarioPackage(kind));
+    if (bg > 0) {
+      // The decomposed caching loop so --snapshot can save at the quiescent
+      // boundary after the last app, before FinishCaching — the same spot the
+      // prefix-sharing sweep forks from.
+      std::vector<Uid> pool = exp->PlanBackgroundPool({fg});
+      if (static_cast<size_t>(bg) > pool.size()) {
+        std::fprintf(stderr, "--bg=%d exceeds the catalog's %zu candidates\n", bg,
+                     pool.size());
+        return 2;
+      }
+      for (int i = 0; i < bg; ++i) {
+        if (!exp->CacheOneBackgroundApp(pool[static_cast<size_t>(i)]) &&
+            !opts.snapshot_path.empty()) {
+          std::fprintf(stderr, "snapshot failed: system did not reach quiescence\n");
+          return 1;
+        }
+      }
+      if (!opts.snapshot_path.empty()) {
+        exp->SaveSnapshotToFile(opts.snapshot_path);
+        std::printf("snapshot: saved to %s\n", opts.snapshot_path.c_str());
+      }
+      exp->FinishCaching();
+    } else if (!opts.snapshot_path.empty()) {
+      if (!exp->SettleToQuiescence()) {
+        std::fprintf(stderr, "snapshot failed: system did not reach quiescence\n");
+        return 1;
+      }
+      exp->SaveSnapshotToFile(opts.snapshot_path);
+      std::printf("snapshot: saved to %s\n", opts.snapshot_path.c_str());
+      // Mirror the restored run, which always resumes through FinishCaching.
+      exp->FinishCaching();
+    }
+  }
+  ScenarioResult r = exp->RunScenario(kind, Sec(static_cast<uint64_t>(opts.duration_s)),
+                                      Sec(static_cast<uint64_t>(opts.warmup_s)));
 
   Table table({"metric", "value"});
   table.AddRow({"avg FPS", Table::Num(r.avg_fps)});
@@ -406,9 +484,9 @@ int main(int argc, char** argv) {
   table.AddRow({"freezes / thaws", std::to_string(r.freezes) + " / " + std::to_string(r.thaws)});
   table.AddRow({"LMK kills", std::to_string(r.lmk_kills)});
   table.AddRow({"free memory",
-                Table::Num(PagesToMiB(exp.mm().free_pages() < 0
+                Table::Num(PagesToMiB(exp->mm().free_pages() < 0
                                           ? 0
-                                          : static_cast<PageCount>(exp.mm().free_pages())),
+                                          : static_cast<PageCount>(exp->mm().free_pages())),
                            0) +
                     " MiB"});
   table.Print();
@@ -421,13 +499,13 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
-  if (opts.trace && exp.tracer() != nullptr) {
-    std::string path = WriteChromeTrace(opts.trace_path, *exp.tracer());
+  if (opts.trace && exp->tracer() != nullptr) {
+    std::string path = WriteChromeTrace(opts.trace_path, *exp->tracer());
     if (path.empty()) {
       std::fprintf(stderr, "trace export failed: %s\n", opts.trace_path.c_str());
       return 1;
     }
-    const Tracer& t = *exp.tracer();
+    const Tracer& t = *exp->tracer();
     std::printf("trace: %s (%llu events emitted, %zu retained, %llu dropped)\n",
                 path.c_str(), static_cast<unsigned long long>(t.emitted()), t.retained(),
                 static_cast<unsigned long long>(t.dropped()));

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/base/binary_stream.h"
 #include "src/base/log.h"
 #include "src/proc/task.h"
 
@@ -136,6 +137,7 @@ Task* ActivityManager::CreateAppTask(App& app, const std::string& name, int nice
 void ActivityManager::StartProcesses(AppEntry& entry) {
   const AppDescriptor& d = entry.descriptor;
   App& app = *entry.app;
+  lifecycle_log_.push_back({0, app.uid()});
 
   AddressSpaceLayout main_layout;
   main_layout.java_pages = d.java_pages;
@@ -344,6 +346,7 @@ void ActivityManager::KillApp(App& app) {
   if (!app.running()) {
     return;
   }
+  lifecycle_log_.push_back({1, app.uid()});
   AppState old_state = app.state();
 
   if (e->main_process != nullptr) {
@@ -369,8 +372,10 @@ void ActivityManager::KillApp(App& app) {
     mm_.set_foreground_uid(kInvalidUid);
   }
   NotifyState(app, old_state);
-  for (DeathListener& l : death_listeners_) {
-    l(app);
+  if (!replaying_) {
+    for (DeathListener& l : death_listeners_) {
+      l(app);
+    }
   }
 }
 
@@ -393,8 +398,95 @@ bool ActivityManager::KillOneCached() {
 }
 
 void ActivityManager::NotifyState(App& app, AppState old_state) {
+  if (replaying_) {
+    return;
+  }
   for (StateListener& l : state_listeners_) {
     l(app, old_state);
+  }
+}
+
+void ActivityManager::SaveTo(BinaryWriter& w) const {
+  w.U64(lifecycle_log_.size());
+  for (const LifecycleEvent& ev : lifecycle_log_) {
+    w.U8(ev.kind);
+    w.I64(ev.uid);
+  }
+  w.I64(foreground_ != nullptr ? foreground_->uid() : kInvalidUid);
+  w.U64(launches_.size());
+  for (const LaunchRecord& rec : launches_) {
+    w.I64(rec.uid);
+    w.Bool(rec.cold);
+    w.U64(rec.start);
+    w.U64(rec.latency);
+    w.Bool(rec.completed);
+  }
+  w.I64(next_uid_);
+  w.I64(next_pid_);
+  w.U64(entries_.size());
+  for (const AppEntry& e : entries_) {
+    w.Bool(e.interactive);
+    const App& app = *e.app;
+    w.U8(static_cast<uint8_t>(app.state()));
+    w.I64(app.oom_adj());
+    w.Bool(app.frozen());
+    w.U64(app.cpu_time_us);
+    w.U64(app.last_foreground_time);
+  }
+}
+
+void ActivityManager::RestoreFrom(BinaryReader& r) {
+  ICE_CHECK(lifecycle_log_.empty()) << "restore into a used ActivityManager";
+  // Phase 1: structural replay. Re-running the real StartProcesses/KillApp
+  // paths reproduces identical pid, space-id and trace-id allocation; the
+  // replayed calls append to lifecycle_log_ again, so a restored run can
+  // itself be snapshotted.
+  uint64_t events = r.U64();
+  replaying_ = true;
+  for (uint64_t i = 0; i < events; ++i) {
+    uint8_t kind = r.U8();
+    Uid uid = static_cast<Uid>(r.I64());
+    AppEntry* e = EntryOf(uid);
+    ICE_CHECK(e != nullptr) << "replay references unknown uid " << uid;
+    if (kind == 0) {
+      StartProcesses(*e);
+    } else {
+      KillApp(*e->app);
+    }
+  }
+  replaying_ = false;
+
+  // Phase 2: dynamic state.
+  Uid fg = static_cast<Uid>(r.I64());
+  foreground_ = fg == kInvalidUid ? nullptr : FindApp(fg);
+  ICE_CHECK(fg == kInvalidUid || foreground_ != nullptr);
+  launches_.clear();
+  uint64_t launch_count = r.U64();
+  launches_.reserve(launch_count);
+  for (uint64_t i = 0; i < launch_count; ++i) {
+    LaunchRecord rec;
+    rec.uid = static_cast<Uid>(r.I64());
+    rec.cold = r.Bool();
+    rec.start = r.U64();
+    rec.latency = r.U64();
+    rec.completed = r.Bool();
+    ICE_CHECK(rec.completed) << "snapshot with an in-flight launch";
+    launches_.push_back(rec);
+  }
+  Uid next_uid = static_cast<Uid>(r.I64());
+  Pid next_pid = static_cast<Pid>(r.I64());
+  ICE_CHECK_EQ(next_uid, next_uid_) << "structural replay diverged (uids)";
+  ICE_CHECK_EQ(next_pid, next_pid_) << "structural replay diverged (pids)";
+  uint64_t entry_count = r.U64();
+  ICE_CHECK_EQ(entry_count, entries_.size());
+  for (AppEntry& e : entries_) {
+    e.interactive = r.Bool();
+    App& app = *e.app;
+    app.set_state(static_cast<AppState>(r.U8()));
+    app.set_oom_adj(static_cast<int>(r.I64()));
+    app.set_frozen(r.Bool());
+    app.cpu_time_us = r.U64();
+    app.last_foreground_time = r.U64();
   }
 }
 

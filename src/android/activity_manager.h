@@ -27,6 +27,9 @@
 
 namespace ice {
 
+class BinaryReader;
+class BinaryWriter;
+
 // Static description of an application (install-time knowledge).
 struct AppDescriptor {
   std::string package;
@@ -130,6 +133,17 @@ class ActivityManager {
   MemoryManager& mm() { return mm_; }
   Freezer& freezer() { return freezer_; }
 
+  // ---- Snapshot support -----------------------------------------------------
+  // Process/task creation cannot be deserialized directly (tasks own live
+  // behaviors, spaces own arenas), so the snapshot stores the *lifecycle log*
+  // — the ordered StartProcesses/KillApp history — and RestoreFrom replays it
+  // against a freshly constructed ActivityManager. Replay re-runs the real
+  // code paths, reproducing identical pid/space-id/trace-id allocation, with
+  // listeners suppressed (policy state is restored from its own sections).
+  // Dynamic per-app state is then overwritten from the stream.
+  void SaveTo(BinaryWriter& w) const;
+  void RestoreFrom(BinaryReader& r);
+
  private:
   struct AppEntry {
     std::unique_ptr<App> app;
@@ -165,6 +179,14 @@ class ActivityManager {
   std::vector<StateListener> state_listeners_;
   std::vector<DeathListener> death_listeners_;
   std::vector<LaunchRecord> launches_;
+
+  // Ordered process-creation/kill history for snapshot replay.
+  struct LifecycleEvent {
+    uint8_t kind;  // 0 = StartProcesses, 1 = KillApp.
+    Uid uid;
+  };
+  std::vector<LifecycleEvent> lifecycle_log_;
+  bool replaying_ = false;  // Suppresses listeners during snapshot replay.
 
   Uid next_uid_ = 10000;  // Android app UIDs start at 10000.
   Pid next_pid_ = 2000;

@@ -43,6 +43,10 @@ class Choreographer {
   // Sets the frame producer; nullptr idles the pipeline.
   void SetSource(FrameSource* source) { source_ = source; }
 
+  // True once the vsync clock runs. Snapshots are only taken pre-scenario,
+  // while the pipeline is still cold.
+  bool started() const { return started_; }
+
   FrameStats& stats() { return stats_; }
 
   // Frames in flight on the render thread beyond which vsyncs drop. Depth 1

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/base/binary_stream.h"
 #include "src/base/log.h"
 
 namespace ice {
@@ -131,5 +132,19 @@ double Rng::LogNormal(double median, double sigma) {
 }
 
 Rng Rng::Fork() { return Rng(Next64()); }
+
+void Rng::SaveTo(BinaryWriter& w) const {
+  w.U64(state_);
+  w.U64(inc_);
+  w.Bool(has_gauss_);
+  w.F64(gauss_);
+}
+
+void Rng::RestoreFrom(BinaryReader& r) {
+  state_ = r.U64();
+  inc_ = r.U64();
+  has_gauss_ = r.Bool();
+  gauss_ = r.F64();
+}
 
 }  // namespace ice

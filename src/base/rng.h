@@ -14,6 +14,9 @@
 
 namespace ice {
 
+class BinaryReader;
+class BinaryWriter;
+
 class Rng {
  public:
   explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL);
@@ -62,6 +65,11 @@ class Rng {
   // Derives an independent child generator; used to give each module its own
   // stream without interleaving artifacts.
   Rng Fork();
+
+  // Snapshot support: the complete generator state (PCG32 state/stream plus
+  // the cached Box-Muller value), so a restored stream continues bit-exact.
+  void SaveTo(BinaryWriter& w) const;
+  void RestoreFrom(BinaryReader& r);
 
  private:
   uint64_t state_;

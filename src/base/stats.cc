@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "src/base/binary_stream.h"
+
 namespace ice {
 
 uint64_t* StatsRegistry::Counter(const std::string& name) { return &counters_[name]; }
@@ -27,6 +29,23 @@ std::map<std::string, uint64_t> StatsRegistry::Diff(
 void StatsRegistry::Reset() {
   for (auto& [name, value] : counters_) {
     value = 0;
+  }
+}
+
+void StatsRegistry::SaveTo(BinaryWriter& w) const {
+  w.U64(counters_.size());
+  for (const auto& [name, value] : counters_) {
+    w.Str(name);
+    w.U64(value);
+  }
+}
+
+void StatsRegistry::RestoreFrom(BinaryReader& r) {
+  Reset();
+  uint64_t n = r.U64();
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string name = r.Str();
+    counters_[name] = r.U64();
   }
 }
 

@@ -12,6 +12,9 @@
 
 namespace ice {
 
+class BinaryReader;
+class BinaryWriter;
+
 class StatsRegistry {
  public:
   StatsRegistry() = default;
@@ -35,6 +38,12 @@ class StatsRegistry {
   void Reset();
 
   std::string ToString() const;
+
+  // Snapshot support. RestoreFrom zeroes existing counters in place and
+  // overwrites/creates from the stream — counters are never erased, so
+  // pointers handed out by Counter() stay valid across a restore.
+  void SaveTo(BinaryWriter& w) const;
+  void RestoreFrom(BinaryReader& r);
 
  private:
   // std::map keeps pointer stability on insert.

@@ -1,13 +1,39 @@
 #include "src/harness/experiment.h"
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
 
+#include "src/base/binary_stream.h"
 #include "src/base/log.h"
 #include "src/workload/bg_activity.h"
 
 namespace ice {
 
-Experiment::Experiment(const ExperimentConfig& config) : config_(config) {
+namespace {
+// Top-level snapshot section tags (envelope: src/base/binary_stream.h).
+// Restore order matters: the activity manager replays its lifecycle log,
+// recreating every process and address space with the same ids structural
+// construction produced — so it must precede the memory-manager and
+// scheduler sections that index into those objects.
+constexpr uint32_t kSectionMeta = 1;
+constexpr uint32_t kSectionEngine = 2;
+constexpr uint32_t kSectionActivityManager = 3;
+constexpr uint32_t kSectionMemory = 4;
+constexpr uint32_t kSectionScheduler = 5;
+constexpr uint32_t kSectionStorage = 6;
+constexpr uint32_t kSectionFreezer = 7;
+constexpr uint32_t kSectionLmk = 8;
+constexpr uint32_t kSectionScheme = 9;
+constexpr uint32_t kSectionTrace = 10;
+}  // namespace
+
+Experiment::Experiment(const ExperimentConfig& config) : Experiment(config, nullptr) {}
+
+Experiment::Experiment(const ExperimentConfig& config,
+                       const std::vector<uint8_t>* snapshot, bool verify_checksum)
+    : config_(config) {
   RegisterIceScheme();
   config_.tuning.footprint_scale *= config_.device.footprint_scale;
   if (config_.ice.hwm_mib == 0) {
@@ -76,8 +102,15 @@ Experiment::Experiment(const ExperimentConfig& config) : config_(config) {
   refs.storage = storage_.get();
   scheme_->Install(refs);
 
-  // Let the base system settle (services reach steady state).
-  engine_->RunFor(Sec(2));
+  if (snapshot == nullptr) {
+    // Let the base system settle (services reach steady state).
+    engine_->RunFor(Sec(2));
+  } else {
+    // Restore mode: nothing has run yet, so the only scheduled events are
+    // the ones Install() armed — RestoreFromBytes cancels those and replays
+    // the saved state instead.
+    RestoreFromBytes(*snapshot, verify_checksum);
+  }
 }
 
 Experiment::~Experiment() = default;
@@ -101,8 +134,7 @@ void Experiment::AwaitInteractive(Uid uid, SimDuration timeout) {
   }
 }
 
-std::vector<Uid> Experiment::CacheBackgroundApps(int n, const std::vector<Uid>& exclude,
-                                                 SimDuration settle) {
+std::vector<Uid> Experiment::PlanBackgroundPool(const std::vector<Uid>& exclude) {
   std::vector<Uid> pool;
   for (Uid uid : catalog_uids_) {
     if (std::find(exclude.begin(), exclude.end(), uid) == exclude.end()) {
@@ -110,16 +142,31 @@ std::vector<Uid> Experiment::CacheBackgroundApps(int n, const std::vector<Uid>& 
     }
   }
   engine_->rng().Shuffle(pool);
+  return pool;
+}
+
+bool Experiment::CacheOneBackgroundApp(Uid uid, SimDuration settle) {
+  am_->Launch(uid);
+  AwaitInteractive(uid, Sec(20));
+  engine_->RunFor(settle);
+  return SettleToQuiescence();
+}
+
+void Experiment::FinishCaching() {
+  am_->MoveForegroundToBackground();
+  engine_->RunFor(Sec(1));
+}
+
+std::vector<Uid> Experiment::CacheBackgroundApps(int n, const std::vector<Uid>& exclude,
+                                                 SimDuration settle) {
+  std::vector<Uid> pool = PlanBackgroundPool(exclude);
   ICE_CHECK_LE(static_cast<size_t>(n), pool.size());
   pool.resize(static_cast<size_t>(n));
 
   for (Uid uid : pool) {
-    am_->Launch(uid);
-    AwaitInteractive(uid, Sec(20));
-    engine_->RunFor(settle);
+    CacheOneBackgroundApp(uid, settle);
   }
-  am_->MoveForegroundToBackground();
-  engine_->RunFor(Sec(1));
+  FinishCaching();
   return pool;
 }
 
@@ -173,6 +220,180 @@ ScenarioResult Experiment::RunScenarioForApp(Uid uid, ScenarioKind kind,
     result.trace = SummarizeTrace(*tracer_);
   }
   return result;
+}
+
+// ---- Snapshot / restore -----------------------------------------------------
+
+bool Experiment::QuiescentNow() const {
+  if (mm_->faults_in_flight() != 0) {
+    return false;
+  }
+  if (storage_->queued() != 0 || storage_->inflight() != 0) {
+    return false;
+  }
+  if (choreographer_->started()) {
+    return false;
+  }
+  for (Task* task : scheduler_->live_tasks()) {
+    if (!task->behavior().Quiescent()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Experiment::SettleToQuiescence(int max_ticks) {
+  for (int i = 0; i < max_ticks; ++i) {
+    if (QuiescentNow()) {
+      return true;
+    }
+    engine_->RunFor(Engine::kTick);
+  }
+  return QuiescentNow();
+}
+
+std::string ConfigFingerprint(const ExperimentConfig& c) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "device=" << c.device.name << " cores=" << c.device.num_cores
+      << " pages=" << c.device.mem.total_pages
+      << " reserved=" << c.device.mem.os_reserved_pages
+      << " hwm=" << c.device.mdt_hwm_mib << " fpba=" << c.device.full_pressure_bg_apps
+      << " seed=" << c.seed << " scheme=" << c.scheme << " aging=" << c.aging
+      << " fscale=" << c.tuning.footprint_scale
+      << " bgscale=" << c.tuning.bg_activity_scale << " ext=" << c.extended_catalog
+      << " nogc=" << c.disable_gc << " svc=" << c.services.service_tasks << '/'
+      << c.services.period << '/' << c.services.duty << '/' << c.services.jitter
+      << " ice=" << c.ice.delta << '/' << c.ice.thaw_duration << '/'
+      << c.ice.min_freeze << '/' << c.ice.max_freeze << '/' << c.ice.hwm_mib << '/'
+      << c.ice.whitelist_adj_threshold << '/' << c.ice.application_grain << '/'
+      << c.ice.enable_prediction << '/' << c.ice.prediction_fanout
+      << " trace=" << c.trace << '/' << c.trace_buffer_pages;
+  return out.str();
+}
+
+std::string Experiment::Fingerprint() const { return ConfigFingerprint(config_); }
+
+std::vector<uint8_t> Experiment::SaveSnapshot() const {
+  ICE_CHECK(QuiescentNow()) << "snapshot requires a quiescent tick boundary";
+  BinaryWriter w;
+  // The stream is dominated by the page-arena dumps; growing a vector to
+  // tens of megabytes by doubling would copy the whole payload again, so
+  // size it up front (an eighth of slack plus 4 MiB covers every other
+  // section, including a full trace ring).
+  w.Reserve(mm_->arena_bytes_live() + mm_->arena_bytes_live() / 8 + (4u << 20));
+  w.BeginSection(kSectionMeta);
+  w.Str(Fingerprint());
+  w.EndSection();
+  w.BeginSection(kSectionEngine);
+  engine_->SaveTo(w);
+  w.EndSection();
+  w.BeginSection(kSectionActivityManager);
+  am_->SaveTo(w);
+  w.EndSection();
+  w.BeginSection(kSectionMemory);
+  mm_->SaveTo(w);
+  w.EndSection();
+  w.BeginSection(kSectionScheduler);
+  scheduler_->SaveTo(w);
+  w.EndSection();
+  w.BeginSection(kSectionStorage);
+  storage_->SaveTo(w);
+  w.EndSection();
+  w.BeginSection(kSectionFreezer);
+  freezer_->SaveTo(w);
+  w.EndSection();
+  w.BeginSection(kSectionLmk);
+  lmk_->SaveTo(w);
+  w.EndSection();
+  w.BeginSection(kSectionScheme);
+  scheme_->SaveTo(w);
+  w.EndSection();
+  w.BeginSection(kSectionTrace);
+  w.Bool(tracer_ != nullptr);
+  if (tracer_ != nullptr) {
+    tracer_->SaveTo(w);
+  }
+  w.EndSection();
+  return w.Finish();
+}
+
+void Experiment::SaveSnapshotToFile(const std::string& path) const {
+  std::vector<uint8_t> bytes = SaveSnapshot();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ICE_CHECK(out.good()) << "cannot open snapshot file for writing: " << path;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  ICE_CHECK(out.good()) << "short write to snapshot file: " << path;
+}
+
+void Experiment::RestoreFromBytes(const std::vector<uint8_t>& snapshot,
+                                  bool verify_checksum) {
+  BinaryReader r(snapshot, verify_checksum);
+  r.ExpectSection(kSectionMeta);
+  std::string fp = r.Str();
+  r.EndSection();
+  if (fp != Fingerprint()) {
+    throw std::runtime_error("snapshot: config fingerprint mismatch\n  snapshot: " +
+                             fp + "\n  config:   " + Fingerprint());
+  }
+  // Cancel everything Install() armed; the wheel must be empty before the
+  // engine restore so the saved event sequence replays exactly.
+  scheme_->BeginRestore();
+  r.ExpectSection(kSectionEngine);
+  engine_->RestoreFrom(r);
+  r.EndSection();
+  r.ExpectSection(kSectionActivityManager);
+  am_->RestoreFrom(r);
+  r.EndSection();
+  r.ExpectSection(kSectionMemory);
+  mm_->RestoreFrom(r);
+  r.EndSection();
+  r.ExpectSection(kSectionScheduler);
+  scheduler_->RestoreFrom(r);
+  r.EndSection();
+  r.ExpectSection(kSectionStorage);
+  storage_->RestoreFrom(r);
+  r.EndSection();
+  r.ExpectSection(kSectionFreezer);
+  freezer_->RestoreFrom(r);
+  r.EndSection();
+  r.ExpectSection(kSectionLmk);
+  lmk_->RestoreFrom(r);
+  r.EndSection();
+  r.ExpectSection(kSectionScheme);
+  scheme_->RestoreFrom(r);
+  r.EndSection();
+  r.ExpectSection(kSectionTrace);
+  bool has_trace = r.Bool();
+  if (has_trace != (tracer_ != nullptr)) {
+    throw std::runtime_error(
+        "snapshot: tracing configuration mismatch between snapshot and config");
+  }
+  if (has_trace) {
+    tracer_->RestoreFrom(r);
+  }
+  r.EndSection();
+  r.ExpectEnd();
+}
+
+std::unique_ptr<Experiment> Experiment::RestoreSnapshot(
+    const ExperimentConfig& config, const std::vector<uint8_t>& snapshot,
+    bool verify_checksum) {
+  return std::unique_ptr<Experiment>(
+      new Experiment(config, &snapshot, verify_checksum));
+}
+
+std::unique_ptr<Experiment> Experiment::RestoreSnapshotFromFile(
+    const ExperimentConfig& config, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw std::runtime_error("snapshot: cannot open file: " + path);
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  return RestoreSnapshot(config, bytes);
 }
 
 }  // namespace ice

@@ -6,6 +6,7 @@
 #ifndef SRC_HARNESS_EXPERIMENT_H_
 #define SRC_HARNESS_EXPERIMENT_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -76,6 +77,11 @@ struct ScenarioResult {
   TraceSummary trace;
 };
 
+// Deterministic digest of every ExperimentConfig field that shapes
+// simulation state. Equal digests on raw configs imply the two runs evolve
+// identically; the sweep runner uses this to group prefix-sharable cells.
+std::string ConfigFingerprint(const ExperimentConfig& config);
+
 class Experiment {
  public:
   explicit Experiment(const ExperimentConfig& config);
@@ -105,8 +111,69 @@ class Experiment {
 
   // Launches `n` catalog apps (chosen pseudo-randomly, excluding `exclude`)
   // and sends each to the background after `settle` of foreground time.
+  // Equivalent to PlanBackgroundPool + n times CacheOneBackgroundApp +
+  // FinishCaching — the decomposed form the prefix-sharing sweep uses to
+  // snapshot between apps.
   std::vector<Uid> CacheBackgroundApps(int n, const std::vector<Uid>& exclude = {},
                                        SimDuration settle = Ms(2500));
+
+  // The full shuffled candidate pool for background caching (all catalog
+  // apps minus `exclude`). Draws from the engine RNG, so the sequence of
+  // pools is deterministic for a given config and call order. The shuffle
+  // always covers the whole pool, making the RNG draw count independent of
+  // how many apps the caller then caches.
+  std::vector<Uid> PlanBackgroundPool(const std::vector<Uid>& exclude = {});
+
+  // Launches one app, waits for it to become interactive, lets it settle in
+  // the foreground, then settles the whole system to a quiescent tick
+  // boundary (so a snapshot may be taken). Returns false when quiescence was
+  // not reached within the bounded search — the caller must then not
+  // snapshot at this boundary.
+  bool CacheOneBackgroundApp(Uid uid, SimDuration settle = Ms(2500));
+
+  // Sends the last cached app to the background and gives the system a
+  // second to absorb it; call once after the final CacheOneBackgroundApp.
+  void FinishCaching();
+
+  // ---- Snapshot / restore ---------------------------------------------
+  //
+  // A snapshot captures the complete simulator state at a quiescent tick
+  // boundary: no faults or IO in flight, every task idle at its steady
+  // state, choreographer not yet started. Restoring into a freshly
+  // constructed Experiment with the *same config* resumes bit-identically —
+  // the restored run's outputs match an uninterrupted run byte for byte.
+
+  // True when the system is quiescent right now (safe to snapshot).
+  bool QuiescentNow() const;
+
+  // Runs single ticks (up to `max_ticks`) until QuiescentNow(); returns
+  // whether quiescence was reached. Runs in *every* caching path, shared or
+  // not, so cold and forked runs advance the clock identically. The default
+  // bound (2 simulated seconds) rides out a full-pressure device: with every
+  // background slot filled, joint idle windows across all tasks are rare and
+  // a few hundred ticks of search is routinely needed.
+  bool SettleToQuiescence(int max_ticks = 2000);
+
+  // Deterministic digest of every config field that shapes simulation
+  // state (ConfigFingerprint of the normalized config). Stored in the
+  // snapshot and checked on restore: restoring under a different config is
+  // a hard error, not a silent divergence.
+  std::string Fingerprint() const;
+
+  // Serializes the full state (aborts if !QuiescentNow()).
+  std::vector<uint8_t> SaveSnapshot() const;
+  void SaveSnapshotToFile(const std::string& path) const;
+
+  // Builds an Experiment from `config` and restores `snapshot` into it.
+  // Throws std::runtime_error on a corrupt/truncated/mismatched stream.
+  // `verify_checksum = false` skips the whole-stream checksum scan; only for
+  // snapshots that never left this process (the sweep forking from an
+  // in-memory donor snapshot) — anything read from disk should verify.
+  static std::unique_ptr<Experiment> RestoreSnapshot(
+      const ExperimentConfig& config, const std::vector<uint8_t>& snapshot,
+      bool verify_checksum = true);
+  static std::unique_ptr<Experiment> RestoreSnapshotFromFile(
+      const ExperimentConfig& config, const std::string& path);
 
   // Launches the scenario's own app in the foreground and runs the scenario
   // for `warmup + duration`, measuring only over the final `duration` — the
@@ -121,6 +188,13 @@ class Experiment {
   void AwaitInteractive(Uid uid, SimDuration timeout = Sec(30));
 
  private:
+  // Shared constructor body: builds the device, then either settles the
+  // fresh system (snapshot == nullptr) or restores the saved state.
+  Experiment(const ExperimentConfig& config, const std::vector<uint8_t>* snapshot,
+             bool verify_checksum = true);
+
+  void RestoreFromBytes(const std::vector<uint8_t>& snapshot, bool verify_checksum);
+
   ExperimentConfig config_;
   std::unique_ptr<Engine> engine_;
   std::unique_ptr<Tracer> tracer_;

@@ -102,12 +102,28 @@ class SweepRunner {
     return out;
   }
 
-  // Runs every cell through RunCell on the pool.
-  std::vector<CellOutcome> Run(const std::vector<SweepCell>& cells) const;
+  // Runs every cell on the pool. With `share_prefix` on (the default),
+  // cells that agree on everything except their background-app count share
+  // one warmed caching prefix: the common prefix runs once in a donor
+  // experiment, is snapshotted at each member's boundary, and every member
+  // forks from its snapshot instead of re-running the caching from scratch.
+  // Forked cells are byte-identical to cold runs — the full-pool shuffle in
+  // PlanBackgroundPool and the per-app settle-to-quiescence run in both
+  // paths — so sharing changes wall-clock only, never results
+  // (tests/harness/prefix_sweep_test.cc asserts this). Cells that cannot
+  // share (bg = 0, singleton groups, or a donor that fails to reach
+  // quiescence) silently fall back to a cold run.
+  std::vector<CellOutcome> Run(const std::vector<SweepCell>& cells,
+                               bool share_prefix = true) const;
 
-  // The canonical cell body shared by benches, the CLI and tests: build an
-  // isolated Experiment, cache the background apps, run the scenario.
+  // The canonical cold cell body shared by benches, the CLI and tests:
+  // build an isolated Experiment, cache the background apps, run the
+  // scenario.
   static ScenarioResult RunCell(const SweepCell& cell);
+
+  // The cell's effective background-app count (-1 resolves to the device's
+  // full-pressure count).
+  static int NormalizedBg(const SweepCell& cell);
 
  private:
   // Runs task(i) for all i; task is expected not to throw.

@@ -1,5 +1,6 @@
 #include "src/ice/daemon.h"
 
+#include "src/base/binary_stream.h"
 #include "src/base/log.h"
 #include "src/proc/process.h"
 
@@ -73,6 +74,29 @@ void IceDaemon::Install(const SystemRefs& refs) {
   });
 
   mdt_->Start();
+}
+
+void IceDaemon::SaveTo(BinaryWriter& w) const {
+  ICE_CHECK(installed_);
+  w.I64(last_foreground_);
+  table_.SaveTo(w);
+  predictor_.SaveTo(w);
+  rpf_->SaveTo(w);
+  mdt_->SaveTo(w);
+}
+
+void IceDaemon::BeginRestore() {
+  ICE_CHECK(installed_);
+  mdt_->BeginRestore();
+}
+
+void IceDaemon::RestoreFrom(BinaryReader& r) {
+  ICE_CHECK(installed_);
+  last_foreground_ = static_cast<Uid>(r.I64());
+  table_.RestoreFrom(r);
+  predictor_.RestoreFrom(r);
+  rpf_->RestoreFrom(r);
+  mdt_->RestoreFrom(r);
 }
 
 void RegisterIceScheme() {

@@ -29,6 +29,12 @@ class IceDaemon : public Scheme {
   std::string name() const override { return "Ice"; }
   void Install(const SystemRefs& refs) override;
 
+  // Snapshot support: serializes the mapping table, predictor, RPF counters
+  // and MDT (incl. its heartbeat event). The whitelist is config-derived.
+  void SaveTo(BinaryWriter& w) const override;
+  void BeginRestore() override;
+  void RestoreFrom(BinaryReader& r) override;
+
   MappingTable& mapping_table() { return table_; }
   Whitelist& whitelist() { return whitelist_; }
   Rpf& rpf() { return *rpf_; }

@@ -2,7 +2,42 @@
 
 #include <algorithm>
 
+#include "src/base/binary_stream.h"
+
 namespace ice {
+
+void MappingTable::SaveTo(BinaryWriter& w) const {
+  w.U64(entries_.size());
+  for (const AppEntry& e : entries_) {
+    w.I64(e.uid);
+    w.Bool(e.frozen);
+    w.U64(e.processes.size());
+    for (const ProcessEntry& p : e.processes) {
+      w.I64(p.pid);
+      w.I64(p.score);
+    }
+  }
+}
+
+void MappingTable::RestoreFrom(BinaryReader& r) {
+  entries_.clear();
+  uint64_t apps = r.U64();
+  entries_.reserve(apps);
+  for (uint64_t i = 0; i < apps; ++i) {
+    AppEntry e;
+    e.uid = static_cast<Uid>(r.I64());
+    e.frozen = r.Bool();
+    uint64_t procs = r.U64();
+    e.processes.reserve(procs);
+    for (uint64_t j = 0; j < procs; ++j) {
+      ProcessEntry p;
+      p.pid = static_cast<Pid>(r.I64());
+      p.score = static_cast<int>(r.I64());
+      e.processes.push_back(p);
+    }
+    entries_.push_back(std::move(e));
+  }
+}
 
 MappingTable::AppEntry* MappingTable::FindMutable(Uid uid) {
   for (AppEntry& e : entries_) {

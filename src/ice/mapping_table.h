@@ -17,6 +17,9 @@
 
 namespace ice {
 
+class BinaryReader;
+class BinaryWriter;
+
 class MappingTable {
  public:
   static constexpr size_t kUidEntryBytes = 64;
@@ -52,6 +55,10 @@ class MappingTable {
   size_t MemoryFootprintBytes() const;
 
   const std::vector<AppEntry>& entries() const { return entries_; }
+
+  // Snapshot support.
+  void SaveTo(BinaryWriter& w) const;
+  void RestoreFrom(BinaryReader& r);
 
  private:
   AppEntry* FindMutable(Uid uid);

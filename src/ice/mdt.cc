@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <utility>
 
+#include "src/base/binary_stream.h"
 #include "src/base/log.h"
 #include "src/trace/trace.h"
 
@@ -70,7 +73,7 @@ void Mdt::BeginFreezePeriod() {
   // E_f is recomputed at the start of every epoch from current memory state.
   SimDuration ef = CurrentFreezeDuration();
   ICE_TRACE(engine_, TraceEventType::kMdtEpoch, {.arg0 = ef, .arg1 = epochs_});
-  engine_.ScheduleAfter(ef, [this]() { BeginThawPeriod(); });
+  pending_ = engine_.ScheduleAfter(ef, [this]() { BeginThawPeriod(); });
 }
 
 void Mdt::BeginThawPeriod() {
@@ -81,7 +84,58 @@ void Mdt::BeginThawPeriod() {
       freezer_.ThawApp(*app);
     }
   }
-  engine_.ScheduleAfter(config_.thaw_duration, [this]() { BeginFreezePeriod(); });
+  pending_ = engine_.ScheduleAfter(config_.thaw_duration, [this]() { BeginFreezePeriod(); });
+}
+
+void Mdt::SaveTo(BinaryWriter& w) const {
+  w.Bool(started_);
+  w.Bool(in_thaw_period_);
+  w.U64(epochs_);
+  w.U64(managed_.size());
+  for (Uid uid : managed_) {
+    w.I64(uid);
+  }
+  bool has_pending = pending_ != kInvalidEventId;
+  std::optional<std::pair<SimTime, uint64_t>> info;
+  if (has_pending) {
+    info = engine_.PendingEvent(pending_);
+    ICE_CHECK(info.has_value()) << "MDT heartbeat event is stale";
+  }
+  w.Bool(has_pending);
+  if (has_pending) {
+    w.U64(info->first);
+    w.U64(info->second);
+  }
+}
+
+void Mdt::BeginRestore() {
+  if (pending_ != kInvalidEventId) {
+    engine_.Cancel(pending_);
+    pending_ = kInvalidEventId;
+  }
+}
+
+void Mdt::RestoreFrom(BinaryReader& r) {
+  ICE_CHECK_EQ(pending_, kInvalidEventId) << "BeginRestore must run first";
+  started_ = r.Bool();
+  in_thaw_period_ = r.Bool();
+  epochs_ = r.U64();
+  managed_.clear();
+  uint64_t count = r.U64();
+  for (uint64_t i = 0; i < count; ++i) {
+    managed_.insert(static_cast<Uid>(r.I64()));
+  }
+  if (r.Bool()) {
+    SimTime when = r.U64();
+    uint64_t seq = r.U64();
+    // The pending event is the *next* period boundary: leaving a thaw period
+    // begins a freeze period, and vice versa.
+    if (in_thaw_period_) {
+      pending_ = engine_.ScheduleAtWithSeq(when, seq, [this]() { BeginFreezePeriod(); });
+    } else {
+      pending_ = engine_.ScheduleAtWithSeq(when, seq, [this]() { BeginThawPeriod(); });
+    }
+  }
 }
 
 }  // namespace ice

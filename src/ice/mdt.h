@@ -14,7 +14,7 @@
 #define SRC_ICE_MDT_H_
 
 #include <cstdint>
-#include <unordered_set>
+#include <set>
 
 #include "src/android/activity_manager.h"
 #include "src/ice/config.h"
@@ -23,6 +23,9 @@
 #include "src/sim/engine.h"
 
 namespace ice {
+
+class BinaryReader;
+class BinaryWriter;
 
 class Mdt {
  public:
@@ -47,6 +50,13 @@ class Mdt {
   uint64_t epochs() const { return epochs_; }
   bool in_thaw_period() const { return in_thaw_period_; }
 
+  // ---- Snapshot support -----------------------------------------------------
+  // The heartbeat is one pending event (next period boundary); it is saved as
+  // (deadline, seq) and re-armed with the same sequence number on restore.
+  void SaveTo(BinaryWriter& w) const;
+  void BeginRestore();  // Cancels the heartbeat Start() armed.
+  void RestoreFrom(BinaryReader& r);
+
  private:
   void BeginFreezePeriod();
   void BeginThawPeriod();
@@ -57,11 +67,16 @@ class Mdt {
   Freezer& freezer_;
   ActivityManager& am_;
 
-  std::unordered_set<Uid> managed_;
+  // Ordered: BeginFreezePeriod/BeginThawPeriod iterate this set, so its
+  // iteration order is part of the deterministic simulation state.
+  std::set<Uid> managed_;
   bool started_ = false;
   bool in_thaw_period_ = false;
   uint64_t epochs_ = 0;
   uint64_t hwm_mib_ = 0;
+  // The next period-boundary event (thaw begin when freezing, freeze begin
+  // when thawing); tracked so snapshots can serialize and re-arm it.
+  EventId pending_ = kInvalidEventId;
 };
 
 }  // namespace ice

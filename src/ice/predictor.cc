@@ -2,7 +2,37 @@
 
 #include <algorithm>
 
+#include "src/base/binary_stream.h"
+
 namespace ice {
+
+void AppUsagePredictor::SaveTo(BinaryWriter& w) const {
+  w.U64(transitions_);
+  w.U64(counts_.size());
+  for (const auto& [from, tos] : counts_) {
+    w.I64(from);
+    w.U64(tos.size());
+    for (const auto& [to, count] : tos) {
+      w.I64(to);
+      w.U64(count);
+    }
+  }
+}
+
+void AppUsagePredictor::RestoreFrom(BinaryReader& r) {
+  counts_.clear();
+  transitions_ = r.U64();
+  uint64_t froms = r.U64();
+  for (uint64_t i = 0; i < froms; ++i) {
+    Uid from = static_cast<Uid>(r.I64());
+    auto& tos = counts_[from];
+    uint64_t entries = r.U64();
+    for (uint64_t j = 0; j < entries; ++j) {
+      Uid to = static_cast<Uid>(r.I64());
+      tos[to] = r.U64();
+    }
+  }
+}
 
 void AppUsagePredictor::RecordSwitch(Uid from, Uid to) {
   if (from == kInvalidUid || to == kInvalidUid || from == to) {

@@ -20,6 +20,9 @@
 
 namespace ice {
 
+class BinaryReader;
+class BinaryWriter;
+
 class AppUsagePredictor {
  public:
   AppUsagePredictor() = default;
@@ -35,6 +38,11 @@ class AppUsagePredictor {
   double TransitionProbability(Uid current, Uid next) const;
 
   uint64_t transitions_recorded() const { return transitions_; }
+
+  // Snapshot support (std::map iteration is ordered, so the wire format is
+  // deterministic).
+  void SaveTo(BinaryWriter& w) const;
+  void RestoreFrom(BinaryReader& r);
 
  private:
   // count_[from][to] = observed transitions.

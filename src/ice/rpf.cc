@@ -1,5 +1,6 @@
 #include "src/ice/rpf.h"
 
+#include "src/base/binary_stream.h"
 #include "src/base/log.h"
 #include "src/ice/mdt.h"
 #include "src/proc/process.h"
@@ -16,6 +17,20 @@ Rpf::Rpf(const IceConfig& config, MappingTable& table, Whitelist& whitelist, Fre
       freezer_(freezer),
       am_(am),
       mdt_(mdt) {}
+
+void Rpf::SaveTo(BinaryWriter& w) const {
+  w.U64(events_seen_);
+  w.U64(events_foreground_);
+  w.U64(events_sifted_);
+  w.U64(freezes_triggered_);
+}
+
+void Rpf::RestoreFrom(BinaryReader& r) {
+  events_seen_ = r.U64();
+  events_foreground_ = r.U64();
+  events_sifted_ = r.U64();
+  freezes_triggered_ = r.U64();
+}
 
 void Rpf::OnRefault(const RefaultEvent& event) {
   ++events_seen_;

@@ -19,6 +19,8 @@
 
 namespace ice {
 
+class BinaryReader;
+class BinaryWriter;
 class Mdt;
 
 class Rpf : public RefaultListener {
@@ -33,6 +35,10 @@ class Rpf : public RefaultListener {
   uint64_t events_foreground() const { return events_foreground_; }
   uint64_t events_sifted() const { return events_sifted_; }  // Unfreezable.
   uint64_t freezes_triggered() const { return freezes_triggered_; }
+
+  // Snapshot support (counters only; RPF is otherwise event-driven).
+  void SaveTo(BinaryWriter& w) const;
+  void RestoreFrom(BinaryReader& r);
 
  private:
   IceConfig config_;

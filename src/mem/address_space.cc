@@ -1,8 +1,13 @@
 #include "src/mem/address_space.h"
 
+#include <cstring>
 #include <new>
+#include <stdexcept>
+#include <type_traits>
 #include <utility>
+#include <vector>
 
+#include "src/base/binary_stream.h"
 #include "src/base/log.h"
 
 namespace ice {
@@ -15,6 +20,11 @@ AddressSpace::AddressSpace(Pid pid, Uid uid, std::string name, const AddressSpac
     : pid_(pid), uid_(uid), name_(std::move(name)), layout_(layout) {
   page_count_ = layout.total();
   void* raw = ::operator new(page_count_ * sizeof(PageInfo), std::align_val_t(kPageArenaAlign));
+  // Zero the arena before constructing: PageInfo has padding (26 payload
+  // bytes in a 32-byte record), and snapshots dump the arena raw — padding
+  // left as heap garbage would make otherwise-identical states compare
+  // unequal byte-wise.
+  std::memset(raw, 0, page_count_ * sizeof(PageInfo));
   PageInfo* pages = static_cast<PageInfo*>(raw);
   for (uint32_t vpn = 0; vpn < page_count_; ++vpn) {
     PageInfo& p = *new (pages + vpn) PageInfo();
@@ -55,6 +65,106 @@ void AddressSpace::AddEvicted(int64_t delta) {
   int64_t next = static_cast<int64_t>(evicted_) + delta;
   ICE_CHECK_GE(next, 0);
   evicted_ = static_cast<PageCount>(next);
+}
+
+// The arena dumps as raw bytes: links are vpn indices, not pointers.
+static_assert(std::is_trivially_copyable_v<PageInfo>,
+              "PageInfo must stay raw-dumpable for snapshots");
+
+namespace {
+
+// A freshly-constructed page record (zeroed padding, like the arena
+// constructor produces) used as the byte reference for the sparse dump.
+struct FreshRecord {
+  alignas(alignof(PageInfo)) unsigned char bytes[sizeof(PageInfo)] = {};
+
+  explicit FreshRecord(HeapKind kind) {
+    PageInfo* p = new (bytes) PageInfo();
+    p->set_kind(kind);
+  }
+
+  bool Matches(const PageInfo& record, uint32_t vpn) {
+    reinterpret_cast<PageInfo*>(bytes)->vpn = vpn;
+    return std::memcmp(bytes, &record, sizeof(PageInfo)) == 0;
+  }
+};
+
+}  // namespace
+
+void AddressSpace::SaveTo(BinaryWriter& w) const {
+  w.U32(space_id_);
+  w.U64(page_count_);
+  // Sparse arena dump: only runs of records that differ from their
+  // freshly-constructed state, as {u32 first vpn, u32 count, raw records}
+  // extents. Typically half of an arena is untouched VA whose records are
+  // byte-identical to what the constructor rebuilds, so shipping them would
+  // double the stream for nothing — arena payload dominates snapshot size.
+  std::vector<std::pair<uint32_t, uint32_t>> extents;
+  {
+    FreshRecord fresh(HeapKind::kJavaHeap);
+    HeapKind kind = HeapKind::kJavaHeap;
+    uint32_t run_start = 0;
+    bool in_run = false;
+    for (uint32_t vpn = 0; vpn < page_count_; ++vpn) {
+      HeapKind k = KindOf(vpn);
+      if (k != kind) {
+        kind = k;
+        fresh = FreshRecord(kind);
+      }
+      if (fresh.Matches(pages_[vpn], vpn)) {
+        if (in_run) {
+          extents.emplace_back(run_start, vpn - run_start);
+          in_run = false;
+        }
+      } else if (!in_run) {
+        run_start = vpn;
+        in_run = true;
+      }
+    }
+    if (in_run) {
+      extents.emplace_back(run_start, static_cast<uint32_t>(page_count_) - run_start);
+    }
+  }
+  w.U64(extents.size());
+  for (const auto& [start, count] : extents) {
+    w.U32(start);
+    w.U32(count);
+    w.Bytes(pages_.get() + start, count * sizeof(PageInfo));
+  }
+  w.U64(resident_);
+  w.U64(evicted_);
+  w.U64(total_evictions);
+  w.U64(total_refaults);
+  w.U32(last_flash_fault_vpn);
+  lru_.SaveTo(w);
+}
+
+void AddressSpace::RestoreFrom(BinaryReader& r) {
+  uint32_t space_id = r.U32();
+  ICE_CHECK_EQ(space_id, space_id_) << "snapshot space-id mismatch for " << name_;
+  uint64_t count = r.U64();
+  ICE_CHECK_EQ(count, page_count_) << "snapshot layout mismatch for " << name_;
+  // The arena was freshly constructed by the restore-mode lifecycle replay,
+  // so every record outside the dumped extents already holds its saved
+  // (fresh) bytes; only the extents need copying in.
+  uint64_t n_extents = r.U64();
+  uint64_t prev_end = 0;
+  for (uint64_t i = 0; i < n_extents; ++i) {
+    uint32_t start = r.U32();
+    uint32_t run = r.U32();
+    if (start < prev_end || static_cast<uint64_t>(start) + run > page_count_) {
+      throw std::runtime_error("snapshot: arena extent out of order or out of range for " +
+                               name_);
+    }
+    r.Bytes(pages_.get() + start, run * sizeof(PageInfo));
+    prev_end = static_cast<uint64_t>(start) + run;
+  }
+  resident_ = r.U64();
+  evicted_ = r.U64();
+  total_evictions = r.U64();
+  total_refaults = r.U64();
+  last_flash_fault_vpn = r.U32();
+  lru_.RestoreFrom(r);
 }
 
 }  // namespace ice

@@ -22,6 +22,9 @@
 
 namespace ice {
 
+class BinaryReader;
+class BinaryWriter;
+
 struct AddressSpaceLayout {
   PageCount java_pages = 0;
   PageCount native_pages = 0;
@@ -102,6 +105,14 @@ class AddressSpace {
   // Readahead state: the last flash-faulting vpn. The memory manager only
   // opens a readahead window when faults are sequential, like the kernel.
   uint32_t last_flash_fault_vpn = UINT32_MAX;
+
+  // Snapshot support: a raw dump of the page-metadata arena (PageInfo is
+  // trivially copyable and holds no pointers — LRU links are vpn indices)
+  // plus residency counters and LRU/gen-clock heads. RestoreFrom requires a
+  // structurally identical space (same layout, built by replaying process
+  // creation) and overwrites its dynamic state.
+  void SaveTo(BinaryWriter& w) const;
+  void RestoreFrom(BinaryReader& r);
 
   // Per-address-space LRU lists: the memcg model. Android places each app in
   // its own memory cgroup, and kswapd applies reclaim pressure to every

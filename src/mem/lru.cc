@@ -1,5 +1,6 @@
 #include "src/mem/lru.h"
 
+#include "src/base/binary_stream.h"
 #include "src/base/log.h"
 
 namespace ice {
@@ -66,6 +67,41 @@ uint32_t LruLists::IsolateCandidates(LruPool pool, uint32_t max, uint32_t scan_b
     }
   }
   return scanned;
+}
+
+void LruLists::SaveTo(BinaryWriter& w) const {
+  w.U8(static_cast<uint8_t>(aging_));
+  for (const IndexList& l : lists_) {
+    w.U32(l.head);
+    w.U32(l.tail);
+    w.U32(l.size);
+  }
+  for (const GenState& g : gen_) {
+    for (uint32_t c : g.counts) {
+      w.U32(c);
+    }
+    w.U32(g.linked);
+    w.U32(g.hand);
+    w.U8(g.clock);
+  }
+}
+
+void LruLists::RestoreFrom(BinaryReader& r) {
+  AgingPolicy aging = static_cast<AgingPolicy>(r.U8());
+  ICE_CHECK(aging == aging_) << "snapshot aging policy mismatch";
+  for (IndexList& l : lists_) {
+    l.head = r.U32();
+    l.tail = r.U32();
+    l.size = r.U32();
+  }
+  for (GenState& g : gen_) {
+    for (uint32_t& c : g.counts) {
+      c = r.U32();
+    }
+    g.linked = r.U32();
+    g.hand = r.U32();
+    g.clock = r.U8();
+  }
 }
 
 void LruLists::Balance(LruPool pool) {

@@ -37,6 +37,8 @@
 namespace ice {
 
 class AddressSpace;
+class BinaryReader;
+class BinaryWriter;
 
 enum class LruPool { kAnon, kFile };
 
@@ -148,6 +150,12 @@ class LruLists {
 
   // Candidates gathered (and prefetched) per scan step.
   static constexpr uint32_t kScanBatch = 8;
+
+  // Snapshot support: list heads/tails/sizes and gen-clock hands/counters.
+  // Per-page link state rides along with the owning arena's raw dump, so
+  // restore assumes the arena bytes were restored first.
+  void SaveTo(BinaryWriter& w) const;
+  void RestoreFrom(BinaryReader& r);
 
  private:
   // List header: head/tail arena indices plus a cached size. 12 bytes, so

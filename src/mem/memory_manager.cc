@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/base/binary_stream.h"
 #include "src/base/log.h"
 #include "src/trace/trace.h"
 
@@ -357,6 +358,54 @@ void MemoryManager::MaybeWakeKswapd() {
     if (kswapd_waker_) {
       kswapd_waker_();
     }
+  }
+}
+
+void MemoryManager::SaveTo(BinaryWriter& w) const {
+  // Quiescent-point contract: no flash fault may be mid-flight (its I/O
+  // completion closure would be lost) and no reclaim batch mid-run.
+  ICE_CHECK_EQ(pending_faults_.size(), 0u) << "snapshot with faults in flight";
+  ICE_CHECK(!in_reclaim_) << "snapshot during a reclaim batch";
+  w.U32(next_space_id_);
+  w.U64(reclaim_cursor_);
+  w.I64(free_pages_);
+  w.U64(zram_frames_held_);
+  w.U64(writeback_pending_);
+  w.I64(foreground_uid_);
+  w.U64(arena_bytes_live_);
+  w.U64(arena_bytes_peak_);
+  w.Bool(kswapd_woken_);
+  contention_rng_.SaveTo(w);
+  zram_.SaveTo(w);
+  shadow_.SaveTo(w);
+  w.U64(spaces_.size());
+  for (const AddressSpace* space : spaces_) {
+    space->SaveTo(w);
+  }
+}
+
+void MemoryManager::RestoreFrom(BinaryReader& r) {
+  ICE_CHECK_EQ(pending_faults_.size(), 0u);
+  ICE_CHECK(!in_reclaim_);
+  uint32_t next_space_id = r.U32();
+  ICE_CHECK_EQ(next_space_id, next_space_id_)
+      << "structural replay diverged: space-id allocation differs";
+  reclaim_cursor_ = r.U64();
+  free_pages_ = r.I64();
+  zram_frames_held_ = r.U64();
+  writeback_pending_ = r.U64();
+  foreground_uid_ = static_cast<Uid>(r.I64());
+  arena_bytes_live_ = r.U64();
+  arena_bytes_peak_ = r.U64();
+  kswapd_woken_ = r.Bool();
+  contention_rng_.RestoreFrom(r);
+  zram_.RestoreFrom(r);
+  shadow_.RestoreFrom(r);
+  uint64_t count = r.U64();
+  ICE_CHECK_EQ(count, spaces_.size())
+      << "structural replay diverged: registered space count differs";
+  for (AddressSpace* space : spaces_) {
+    space->RestoreFrom(r);
   }
 }
 

@@ -30,6 +30,9 @@
 
 namespace ice {
 
+class BinaryReader;
+class BinaryWriter;
+
 struct MemConfig {
   // Page aging policy applied to every registered address space (see
   // src/mem/aging.h): the classic two-list LRU or the MGLRU-style
@@ -181,6 +184,16 @@ class MemoryManager {
   PageCount file_lru_pages() const;
 
   uint64_t faults_in_flight() const { return pending_faults_.size(); }
+
+  // ---- Snapshot ------------------------------------------------------------
+  // Serializes every registered space (raw arena dumps + LRU state), the
+  // zram store, shadow sequence, frame accounting, and the reclaim cursor.
+  // Requires a quiescent point: no in-flight flash faults, no reclaim in
+  // progress (ICE_CHECKed). RestoreFrom expects `spaces_` to already hold
+  // structurally identical spaces in the same registration order (process
+  // creation replay) and overwrites their dynamic state.
+  void SaveTo(BinaryWriter& w) const;
+  void RestoreFrom(BinaryReader& r);
 
  private:
   // Takes one free frame for `space`, entering direct reclaim below the min

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/base/binary_stream.h"
 #include "src/base/log.h"
 #include "src/mem/address_space.h"
 
@@ -29,6 +30,16 @@ RefaultEvent ShadowRegistry::RecordRefault(PageInfo* page, const AddressSpace& s
     l->OnRefault(event);
   }
   return event;
+}
+
+void ShadowRegistry::SaveTo(BinaryWriter& w) const {
+  w.U64(eviction_seq_);
+  w.U64(refault_count_);
+}
+
+void ShadowRegistry::RestoreFrom(BinaryReader& r) {
+  eviction_seq_ = r.U64();
+  refault_count_ = r.U64();
 }
 
 void ShadowRegistry::AddListener(RefaultListener* listener) {

@@ -17,6 +17,9 @@
 
 namespace ice {
 
+class BinaryReader;
+class BinaryWriter;
+
 struct RefaultEvent {
   SimTime time = 0;
   Pid pid = kInvalidPid;
@@ -61,6 +64,11 @@ class ShadowRegistry {
 
   uint64_t eviction_sequence() const { return eviction_seq_; }
   uint64_t refault_count() const { return refault_count_; }
+
+  // Snapshot support: the sequence counters only — shadow cookies live in
+  // PageInfo records and listeners are re-registered structurally.
+  void SaveTo(BinaryWriter& w) const;
+  void RestoreFrom(BinaryReader& r);
 
  private:
   uint64_t eviction_seq_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/base/binary_stream.h"
 #include "src/base/log.h"
 
 namespace ice {
@@ -25,6 +26,18 @@ bool Zram::Store(PageInfo* page) {
   stored_bytes_ += compressed;
   ++stored_pages_;
   return true;
+}
+
+void Zram::SaveTo(BinaryWriter& w) const {
+  rng_.SaveTo(w);
+  w.U64(stored_bytes_);
+  w.U64(stored_pages_);
+}
+
+void Zram::RestoreFrom(BinaryReader& r) {
+  rng_.RestoreFrom(r);
+  stored_bytes_ = r.U64();
+  stored_pages_ = r.U64();
 }
 
 void Zram::Drop(PageInfo* page) {

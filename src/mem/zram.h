@@ -16,6 +16,9 @@
 
 namespace ice {
 
+class BinaryReader;
+class BinaryWriter;
+
 struct ZramConfig {
   uint64_t capacity_bytes = 512 * kMiB;
   // LZ4-class costs on a mobile big core.
@@ -50,6 +53,11 @@ class Zram {
   double utilization() const {
     return static_cast<double>(stored_bytes_) / static_cast<double>(config_.capacity_bytes);
   }
+
+  // Snapshot support: occupancy plus the compression-ratio RNG stream (the
+  // per-page compressed sizes themselves live in PageInfo::zram_bytes).
+  void SaveTo(BinaryWriter& w) const;
+  void RestoreFrom(BinaryReader& r);
 
  private:
   ZramConfig config_;

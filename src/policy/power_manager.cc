@@ -1,7 +1,10 @@
 #include "src/policy/power_manager.h"
 
+#include <algorithm>
+#include <optional>
 #include <vector>
 
+#include "src/base/binary_stream.h"
 #include "src/base/log.h"
 
 namespace ice {
@@ -9,15 +12,34 @@ namespace ice {
 void PowerManagerScheme::Install(const SystemRefs& refs) {
   ICE_CHECK(refs.engine != nullptr && refs.am != nullptr && refs.freezer != nullptr);
   refs_ = refs;
-  refs_.engine->ScheduleAfter(config_.check_period, [this]() { PeriodicCheck(); });
+  check_event_ = refs_.engine->ScheduleAfter(config_.check_period, [this]() { PeriodicCheck(); });
 
   // Like ICE, the power manager must thaw before an app is displayed; the
   // ActivityManager already thaws on launch, so only the state bookkeeping
   // is needed here.
 }
 
+void PowerManagerScheme::ThawIfStillCached(Uid uid) {
+  App* target = refs_.am->FindApp(uid);
+  // Fixed-duration thaw, regardless of memory state.
+  if (target != nullptr && target->frozen() && target->state() == AppState::kCached) {
+    refs_.freezer->ThawApp(*target);
+  }
+}
+
+void PowerManagerScheme::PruneFiredThaws() {
+  pending_thaws_.erase(
+      std::remove_if(pending_thaws_.begin(), pending_thaws_.end(),
+                     [this](const std::pair<Uid, EventId>& entry) {
+                       return !refs_.engine->PendingEvent(entry.second).has_value();
+                     }),
+      pending_thaws_.end());
+}
+
 void PowerManagerScheme::PeriodicCheck() {
-  refs_.engine->ScheduleAfter(config_.check_period, [this]() { PeriodicCheck(); });
+  check_event_ =
+      refs_.engine->ScheduleAfter(config_.check_period, [this]() { PeriodicCheck(); });
+  PruneFiredThaws();
   if (config_.charging) {
     return;  // OEM behavior: no freezing on the charger.
   }
@@ -42,14 +64,77 @@ void PowerManagerScheme::PeriodicCheck() {
   for (App* app : to_freeze) {
     refs_.freezer->FreezeApp(*app);
     Uid uid = app->uid();
-    refs_.engine->ScheduleAfter(config_.freeze_duration, [this, uid]() {
-      App* target = refs_.am->FindApp(uid);
-      // Fixed-duration thaw, regardless of memory state.
-      if (target != nullptr && target->frozen() &&
-          target->state() == AppState::kCached) {
-        refs_.freezer->ThawApp(*target);
-      }
-    });
+    EventId id = refs_.engine->ScheduleAfter(config_.freeze_duration,
+                                             [this, uid]() { ThawIfStillCached(uid); });
+    pending_thaws_.emplace_back(uid, id);
+  }
+}
+
+void PowerManagerScheme::SaveTo(BinaryWriter& w) const {
+  ICE_CHECK(refs_.engine != nullptr);
+  // last_cpu_us_ is an unordered_map: serialize sorted by uid so identical
+  // states produce identical bytes.
+  std::vector<std::pair<Uid, uint64_t>> sorted(last_cpu_us_.begin(), last_cpu_us_.end());
+  std::sort(sorted.begin(), sorted.end());
+  w.U64(sorted.size());
+  for (const auto& [uid, cpu] : sorted) {
+    w.I64(uid);
+    w.U64(cpu);
+  }
+  auto check = refs_.engine->PendingEvent(check_event_);
+  ICE_CHECK(check.has_value()) << "power-manager check event is stale";
+  w.U64(check->first);
+  w.U64(check->second);
+  uint64_t live = 0;
+  for (const auto& [uid, id] : pending_thaws_) {
+    if (refs_.engine->PendingEvent(id).has_value()) {
+      ++live;
+    }
+  }
+  w.U64(live);
+  for (const auto& [uid, id] : pending_thaws_) {
+    auto info = refs_.engine->PendingEvent(id);
+    if (info.has_value()) {
+      w.I64(uid);
+      w.U64(info->first);
+      w.U64(info->second);
+    }
+  }
+}
+
+void PowerManagerScheme::BeginRestore() {
+  ICE_CHECK(refs_.engine != nullptr);
+  if (check_event_ != kInvalidEventId) {
+    refs_.engine->Cancel(check_event_);
+    check_event_ = kInvalidEventId;
+  }
+  for (const auto& [uid, id] : pending_thaws_) {
+    refs_.engine->Cancel(id);
+  }
+  pending_thaws_.clear();
+}
+
+void PowerManagerScheme::RestoreFrom(BinaryReader& r) {
+  ICE_CHECK(refs_.engine != nullptr);
+  ICE_CHECK_EQ(check_event_, kInvalidEventId) << "BeginRestore must run first";
+  last_cpu_us_.clear();
+  uint64_t entries = r.U64();
+  for (uint64_t i = 0; i < entries; ++i) {
+    Uid uid = static_cast<Uid>(r.I64());
+    last_cpu_us_[uid] = r.U64();
+  }
+  SimTime check_when = r.U64();
+  uint64_t check_seq = r.U64();
+  check_event_ = refs_.engine->ScheduleAtWithSeq(check_when, check_seq,
+                                                 [this]() { PeriodicCheck(); });
+  uint64_t thaws = r.U64();
+  for (uint64_t i = 0; i < thaws; ++i) {
+    Uid uid = static_cast<Uid>(r.I64());
+    SimTime when = r.U64();
+    uint64_t seq = r.U64();
+    EventId id = refs_.engine->ScheduleAtWithSeq(when, seq,
+                                                 [this, uid]() { ThawIfStillCached(uid); });
+    pending_thaws_.emplace_back(uid, id);
   }
 }
 

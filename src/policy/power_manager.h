@@ -10,6 +10,8 @@
 #define SRC_POLICY_POWER_MANAGER_H_
 
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/policy/scheme.h"
 
@@ -33,12 +35,23 @@ class PowerManagerScheme : public Scheme {
   std::string name() const override { return "PowerMgr"; }
   void Install(const SystemRefs& refs) override;
 
+  // Snapshot support: the periodic check and each scheduled fixed-duration
+  // thaw are pending events, saved as (uid, deadline, seq) and re-armed.
+  void SaveTo(BinaryWriter& w) const override;
+  void BeginRestore() override;
+  void RestoreFrom(BinaryReader& r) override;
+
  private:
   void PeriodicCheck();
+  void ThawIfStillCached(Uid uid);
+  void PruneFiredThaws();
 
   Config config_;
   SystemRefs refs_;
   std::unordered_map<Uid, uint64_t> last_cpu_us_;
+  EventId check_event_ = kInvalidEventId;
+  // Outstanding fixed-duration thaws; fired entries are pruned lazily.
+  std::vector<std::pair<Uid, EventId>> pending_thaws_;
 };
 
 }  // namespace ice

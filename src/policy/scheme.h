@@ -19,6 +19,9 @@
 
 namespace ice {
 
+class BinaryReader;
+class BinaryWriter;
+
 struct SystemRefs {
   Engine* engine = nullptr;
   MemoryManager* mm = nullptr;
@@ -37,6 +40,16 @@ class Scheme {
   // Wires the scheme into the system. Called exactly once, before any
   // workload runs.
   virtual void Install(const SystemRefs& refs) = 0;
+
+  // ---- Snapshot support -----------------------------------------------------
+  // Stateless schemes (LRU+CFS, UCSG, Acclaim keep all their state in tasks
+  // and hooks) use these defaults. Schemes with timers or learned state (Ice,
+  // PowerMgr) override all three: BeginRestore cancels any events Install
+  // armed — the engine clock can only be restored onto an empty wheel — and
+  // RestoreFrom re-arms them with the snapshot's event sequence numbers.
+  virtual void SaveTo(BinaryWriter& w) const { (void)w; }
+  virtual void BeginRestore() {}
+  virtual void RestoreFrom(BinaryReader& r) { (void)r; }
 };
 
 // LRU + CFS: the stock Linux baseline. Installs nothing.

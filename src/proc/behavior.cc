@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/base/binary_stream.h"
 #include "src/base/log.h"
 #include "src/proc/scheduler.h"
 #include "src/proc/task.h"
@@ -97,6 +98,16 @@ void WorkQueueBehavior::Run(TaskContext& ctx) {
   }
 }
 
+void WorkQueueBehavior::SaveTo(BinaryWriter& w) const {
+  ICE_CHECK(queue_.empty()) << "snapshot with queued work";
+  w.U64(completed_);
+}
+
+void WorkQueueBehavior::RestoreFrom(BinaryReader& r) {
+  ICE_CHECK(queue_.empty());
+  completed_ = r.U64();
+}
+
 // ---- KswapdBehavior ----------------------------------------------------------
 
 void KswapdBehavior::Run(TaskContext& ctx) {
@@ -158,6 +169,18 @@ void PeriodicLoadBehavior::Run(TaskContext& ctx) {
     ctx.SleepFor(static_cast<SimDuration>(std::max(1.0, sleep_target)));
     return;
   }
+}
+
+void PeriodicLoadBehavior::SaveTo(BinaryWriter& w) const {
+  w.U64(remaining_compute_);
+  w.U32(remaining_touches_);
+  w.Bool(started_);
+}
+
+void PeriodicLoadBehavior::RestoreFrom(BinaryReader& r) {
+  remaining_compute_ = r.U64();
+  remaining_touches_ = r.U32();
+  started_ = r.Bool();
 }
 
 }  // namespace ice

@@ -23,6 +23,8 @@
 
 namespace ice {
 
+class BinaryReader;
+class BinaryWriter;
 class Task;
 class Scheduler;
 
@@ -72,6 +74,15 @@ class Behavior {
  public:
   virtual ~Behavior() = default;
   virtual void Run(TaskContext& ctx) = 0;
+
+  // ---- Snapshot support -----------------------------------------------------
+  // A behavior is quiescent when its internal progress is fully expressible
+  // through SaveTo — e.g. no queued WorkItems whose closures a snapshot cannot
+  // carry. Snapshots are only taken when every live task's behavior reports
+  // quiescence.
+  virtual bool Quiescent() const { return true; }
+  virtual void SaveTo(BinaryWriter& w) const { (void)w; }
+  virtual void RestoreFrom(BinaryReader& r) { (void)r; }
 };
 
 // A unit of deferred work: CPU time plus a set of page touches, with an
@@ -107,6 +118,11 @@ class WorkQueueBehavior : public Behavior {
   size_t pending() const { return queue_.size(); }
   uint64_t completed() const { return completed_; }
 
+  // Queued WorkItems carry completion closures a snapshot cannot carry.
+  bool Quiescent() const override { return queue_.empty(); }
+  void SaveTo(BinaryWriter& w) const override;
+  void RestoreFrom(BinaryReader& r) override;
+
  private:
   Task* task_ = nullptr;
   std::deque<WorkItem> queue_;
@@ -137,6 +153,9 @@ class PeriodicLoadBehavior : public Behavior {
   explicit PeriodicLoadBehavior(const Params& params) : params_(params) {}
 
   void Run(TaskContext& ctx) override;
+
+  void SaveTo(BinaryWriter& w) const override;
+  void RestoreFrom(BinaryReader& r) override;
 
  private:
   Params params_;

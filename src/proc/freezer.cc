@@ -1,5 +1,6 @@
 #include "src/proc/freezer.h"
 
+#include "src/base/binary_stream.h"
 #include "src/base/log.h"
 #include "src/proc/process.h"
 #include "src/proc/task.h"
@@ -35,6 +36,16 @@ void Freezer::ThawApp(App& app) {
       task->ThawNow();
     }
   }
+}
+
+void Freezer::SaveTo(BinaryWriter& w) const {
+  w.U64(freeze_count_);
+  w.U64(thaw_count_);
+}
+
+void Freezer::RestoreFrom(BinaryReader& r) {
+  freeze_count_ = r.U64();
+  thaw_count_ = r.U64();
 }
 
 }  // namespace ice

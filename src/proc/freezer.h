@@ -11,6 +11,9 @@
 
 namespace ice {
 
+class BinaryReader;
+class BinaryWriter;
+
 class Freezer {
  public:
   explicit Freezer(Engine& engine) : engine_(engine) {}
@@ -25,6 +28,10 @@ class Freezer {
 
   uint64_t freeze_count() const { return freeze_count_; }
   uint64_t thaw_count() const { return thaw_count_; }
+
+  // Snapshot support (counters only; per-task freeze state lives in Task).
+  void SaveTo(BinaryWriter& w) const;
+  void RestoreFrom(BinaryReader& r);
 
  private:
   Engine& engine_;

@@ -1,5 +1,6 @@
 #include "src/proc/lmk.h"
 
+#include "src/base/binary_stream.h"
 #include "src/base/log.h"
 
 namespace ice {
@@ -60,6 +61,24 @@ bool Lmk::KillOne() {
   ++kills_;
   engine_.stats().Increment(stat::kLmkKills);
   return true;
+}
+
+void Lmk::SaveTo(BinaryWriter& w) const {
+  w.U64(last_refaults_);
+  w.F64(refault_rate_ewma_);
+  w.U64(last_kill_time_);
+  w.Bool(ever_killed_);
+  w.U64(kills_);
+  w.U64(next_check_);
+}
+
+void Lmk::RestoreFrom(BinaryReader& r) {
+  last_refaults_ = r.U64();
+  refault_rate_ewma_ = r.F64();
+  last_kill_time_ = r.U64();
+  ever_killed_ = r.Bool();
+  kills_ = r.U64();
+  next_check_ = r.U64();
 }
 
 }  // namespace ice

@@ -16,6 +16,9 @@
 
 namespace ice {
 
+class BinaryReader;
+class BinaryWriter;
+
 class Lmk : public Ticker {
  public:
   // `kill_one` must kill the best victim and return true, or return false
@@ -48,6 +51,10 @@ class Lmk : public Ticker {
   // app dies when the smoothed rate exceeds this threshold (0 disables).
   void set_psi_refaults_per_sec(double rate) { psi_threshold_ = rate; }
   double psi_refault_rate() const { return refault_rate_ewma_; }
+
+  // Snapshot support (thresholds are reconfigured by the harness, not saved).
+  void SaveTo(BinaryWriter& w) const;
+  void RestoreFrom(BinaryReader& r);
 
  private:
   bool KillOne();

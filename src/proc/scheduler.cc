@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/base/binary_stream.h"
 #include "src/base/log.h"
 #include "src/proc/behavior.h"
 #include "src/proc/process.h"
@@ -109,6 +110,75 @@ void Scheduler::OnTicksSkipped(SimTime first_skipped, uint64_t count) {
       second_capacity_us_ = 0;
       next_second_boundary_ += kSecond;
     }
+  }
+}
+
+void Scheduler::SaveTo(BinaryWriter& w) const {
+  w.U64(busy_us_);
+  w.U64(capacity_us_);
+  w.U64(second_busy_us_);
+  w.U64(second_capacity_us_);
+  w.U64(next_second_boundary_);
+  w.U64(min_vruntime_us_);
+  w.U64(task_seq_);
+  w.U64(per_second_.size());
+  for (double v : per_second_) {
+    w.F64(v);
+  }
+  w.U64(tasks_.size());
+  for (const auto& t : tasks_) {
+    t->SaveTo(w);
+  }
+  // Run-queue ORDER matters: Tick's std::partial_sort is unstable, so the
+  // queue ordering at the snapshot point is part of the deterministic state.
+  w.U64(run_queue_.size());
+  for (const Task* t : const_cast<IntrusiveList<Task, RunQueueTag>&>(run_queue_)) {
+    w.U64(t->trace_id());
+  }
+  w.U64(core_last_.size());
+  for (const Task* t : core_last_) {
+    w.U64(t != nullptr ? t->trace_id() : 0);
+  }
+}
+
+void Scheduler::RestoreFrom(BinaryReader& r) {
+  busy_us_ = r.U64();
+  capacity_us_ = r.U64();
+  second_busy_us_ = r.U64();
+  second_capacity_us_ = r.U64();
+  next_second_boundary_ = r.U64();
+  min_vruntime_us_ = r.U64();
+  uint64_t task_seq = r.U64();
+  ICE_CHECK_EQ(task_seq, task_seq_) << "structural replay diverged (task count)";
+  per_second_.clear();
+  uint64_t samples = r.U64();
+  per_second_.reserve(samples);
+  for (uint64_t i = 0; i < samples; ++i) {
+    per_second_.push_back(r.F64());
+  }
+  uint64_t task_count = r.U64();
+  ICE_CHECK_EQ(task_count, tasks_.size()) << "structural replay diverged (tasks)";
+  // Empty the run queue before tasks set their states directly; membership is
+  // rebuilt below in the serialized order.
+  run_queue_.Clear();
+  for (auto& t : tasks_) {
+    t->RestoreFrom(r);
+  }
+  uint64_t queued = r.U64();
+  for (uint64_t i = 0; i < queued; ++i) {
+    uint64_t trace_id = r.U64();
+    ICE_CHECK_GE(trace_id, 1u);
+    ICE_CHECK_LE(trace_id, tasks_.size());
+    Task* t = tasks_[trace_id - 1].get();
+    ICE_CHECK(t->state() == TaskState::kRunnable);
+    run_queue_.PushBack(t);
+  }
+  core_last_.clear();
+  uint64_t cores = r.U64();
+  for (uint64_t i = 0; i < cores; ++i) {
+    uint64_t trace_id = r.U64();
+    ICE_CHECK_LE(trace_id, tasks_.size());
+    core_last_.push_back(trace_id == 0 ? nullptr : tasks_[trace_id - 1].get());
   }
 }
 

@@ -24,6 +24,8 @@
 namespace ice {
 
 class Behavior;
+class BinaryReader;
+class BinaryWriter;
 
 class Scheduler : public Ticker {
  public:
@@ -72,6 +74,15 @@ class Scheduler : public Ticker {
 
   // All live tasks (for experiments/inspection).
   const std::vector<Task*>& live_tasks() const { return live_tasks_; }
+
+  // ---- Snapshot support -----------------------------------------------------
+  // Serializes CPU accounting, every task's dynamic state (tasks_ order), the
+  // run-queue order as trace ids (std::partial_sort in Tick is unstable, so
+  // queue order is part of the deterministic state), and per-core occupancy.
+  // RestoreFrom expects the structural replay to have recreated the identical
+  // task population (task_seq_ and tasks_.size() are checked).
+  void SaveTo(BinaryWriter& w) const;
+  void RestoreFrom(BinaryReader& r);
 
  private:
   Engine& engine_;

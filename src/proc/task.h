@@ -24,6 +24,8 @@
 namespace ice {
 
 class Behavior;
+class BinaryReader;
+class BinaryWriter;
 class Process;
 class Scheduler;
 
@@ -107,6 +109,15 @@ class Task : public ListNode<RunQueueTag> {
   void MarkDead();
 
   // ---- Scheduler internals --------------------------------------------------
+
+  // ---- Snapshot support -----------------------------------------------------
+  // Serializes dynamic state (scheduling accounting, freezer flags, pending
+  // sleep timer as (deadline, seq), and the behavior's progress). Restore sets
+  // state_ directly — the scheduler rebuilds run-queue membership afterwards
+  // in its own serialized order — and re-arms the sleep timer with the saved
+  // event sequence number so wheel dispatch order is bit-identical.
+  void SaveTo(BinaryWriter& w) const;
+  void RestoreFrom(BinaryReader& r);
 
   void AddVruntime(SimDuration used_us) {
     vruntime_us_ += used_us * 1024 / static_cast<uint64_t>(weight_);

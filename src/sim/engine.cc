@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/base/binary_stream.h"
 #include "src/base/log.h"
 
 namespace ice {
@@ -19,6 +20,31 @@ EventId Engine::ScheduleAfter(SimDuration delay, EventFn fn) {
 }
 
 bool Engine::Cancel(EventId id) { return events_.Cancel(id); }
+
+EventId Engine::ScheduleAtWithSeq(SimTime when, uint64_t seq, EventFn fn) {
+  ICE_CHECK_GE(when, now_) << "scheduling into the past";
+  return events_.ScheduleWithSeq(when, seq, std::move(fn));
+}
+
+void Engine::SaveTo(BinaryWriter& w) const {
+  w.U64(now_);
+  w.U64(ticks_);
+  w.U64(ticks_skipped_);
+  w.U64(events_.next_seq());
+  rng_.SaveTo(w);
+  stats_.SaveTo(w);
+}
+
+void Engine::RestoreFrom(BinaryReader& r) {
+  ICE_CHECK(events_.empty()) << "engine restore with timers still scheduled";
+  now_ = r.U64();
+  ticks_ = r.U64();
+  ticks_skipped_ = r.U64();
+  events_.set_next_seq(r.U64());
+  events_.RestoreClock(now_);
+  rng_.RestoreFrom(r);
+  stats_.RestoreFrom(r);
+}
 
 void Engine::AddTicker(Ticker* ticker) {
   ICE_CHECK(ticker != nullptr);

@@ -16,6 +16,8 @@
 #define SRC_SIM_ENGINE_H_
 
 #include <cstdint>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "src/base/rng.h"
@@ -25,6 +27,8 @@
 
 namespace ice {
 
+class BinaryReader;
+class BinaryWriter;
 class Tracer;
 
 // Sentinel NextWorkAt() result: this ticker has no self-initiated work at any
@@ -81,6 +85,25 @@ class Engine {
   EventId ScheduleAt(SimTime when, EventFn fn);
   EventId ScheduleAfter(SimDuration delay, EventFn fn);
   bool Cancel(EventId id);
+
+  // ---- Snapshot/restore -----------------------------------------------------
+  // Components re-arm their own timers on restore: they serialize each
+  // pending event's (when, seq) via PendingEvent() and re-create it with
+  // ScheduleAtWithSeq(), which reproduces the original firing order without
+  // the wheel ever serializing callables.
+  EventId ScheduleAtWithSeq(SimTime when, uint64_t seq, EventFn fn);
+  std::optional<std::pair<SimTime, uint64_t>> PendingEvent(EventId id) const {
+    return events_.Pending(id);
+  }
+  // Live events in the wheel. Snapshot sanity: every one of these must be
+  // owned (and re-armed on restore) by some component's serialization.
+  size_t pending_events() const { return events_.size(); }
+
+  // Clock, tick counters, event-sequence cursor, RNG, and stats registry.
+  // RestoreFrom requires the event queue to be empty (timers are re-armed by
+  // their owners afterwards) and repositions the wheel cursor to now().
+  void SaveTo(BinaryWriter& w) const;
+  void RestoreFrom(BinaryReader& r);
 
   // Tickers are called in registration order. Registration during a tick
   // takes effect from the next tick.

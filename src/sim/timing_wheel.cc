@@ -94,11 +94,19 @@ void TimingWheel::PlaceNode(uint32_t idx) {
 }
 
 EventId TimingWheel::Schedule(SimTime when, EventFn fn) {
+  return ScheduleImpl(when, next_seq_++, std::move(fn));
+}
+
+EventId TimingWheel::ScheduleWithSeq(SimTime when, uint64_t seq, EventFn fn) {
+  return ScheduleImpl(when, seq, std::move(fn));
+}
+
+EventId TimingWheel::ScheduleImpl(SimTime when, uint64_t seq, EventFn fn) {
   ICE_CHECK(static_cast<bool>(fn));
   uint32_t idx = AllocNode();
   Node& n = pool_[idx];
   n.when = when;
-  n.seq = next_seq_++;
+  n.seq = seq;
   n.live = true;
   n.fn = std::move(fn);
   n.next = kNil;
@@ -115,6 +123,40 @@ EventId TimingWheel::Schedule(SimTime when, EventFn fn) {
     PlaceNode(idx);
   }
   return id;
+}
+
+std::optional<std::pair<SimTime, uint64_t>> TimingWheel::Pending(EventId id) const {
+  uint32_t low = static_cast<uint32_t>(id & 0xffffffffu);
+  if (low == 0 || low > pool_.size()) {
+    return std::nullopt;
+  }
+  const Node& n = pool_[low - 1];
+  if (n.gen != static_cast<uint32_t>(id >> 32) || !n.live) {
+    return std::nullopt;
+  }
+  return std::make_pair(n.when, n.seq);
+}
+
+void TimingWheel::RestoreClock(SimTime now) {
+  ICE_CHECK_EQ(live_count_, 0u) << "RestoreClock on a non-empty wheel";
+  ICE_CHECK(!in_run_due_);
+  // Husks of cancelled events may still sit in slots/overflow; sweep them so
+  // the cursor jump cannot strand one in an already-passed slot.
+  for (uint32_t level = 0; level < kLevels; ++level) {
+    for (uint32_t slot = 0; slot < kSlots; ++slot) {
+      uint32_t idx = DetachSlot(level, slot);
+      while (idx != kNil) {
+        uint32_t next = pool_[idx].next;
+        ICE_CHECK(!pool_[idx].live);
+        FreeNode(idx);
+        idx = next;
+      }
+    }
+  }
+  while (!overflow_.empty()) {
+    FreeNode(HeapPop(overflow_));
+  }
+  cur_slot_ = now >> kLevel0Shift;
 }
 
 bool TimingWheel::Cancel(EventId id) {

@@ -23,6 +23,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "src/base/units.h"
@@ -61,6 +63,28 @@ class TimingWheel {
   // Pops and runs every event with time <= now, in (when, seq) order. Events
   // scheduled during dispatch at times <= now also run in this call.
   void RunDue(SimTime now);
+
+  // ---- Snapshot/restore support ---------------------------------------------
+  // Schedules `fn` with an explicit (when, seq) pair instead of drawing the
+  // next sequence number. Restore paths use this to re-arm timers whose
+  // (when, seq) was captured by a snapshot, reproducing the pre-snapshot
+  // firing order exactly. next_seq_ is not advanced; the restorer sets it
+  // once via set_next_seq() after every timer is re-armed.
+  EventId ScheduleWithSeq(SimTime when, uint64_t seq, EventFn fn);
+
+  // The (when, seq) of a still-pending event, or nullopt if the id is
+  // invalid, already fired, or cancelled. Lets components serialize their
+  // outstanding timers without the wheel serializing callables.
+  std::optional<std::pair<SimTime, uint64_t>> Pending(EventId id) const;
+
+  uint64_t next_seq() const { return next_seq_; }
+  void set_next_seq(uint64_t seq) { next_seq_ = seq; }
+
+  // Moves the cursor to the slot containing `now` on an EMPTY wheel. The
+  // emptiness requirement is structural: jumping the cursor past occupied
+  // slots would skip their cascades, so restore re-arms timers only after
+  // the clock is set.
+  void RestoreClock(SimTime now);
 
   // ---- Introspection (tests, benches) ---------------------------------------
   // Total pool capacity ever allocated (live + dead + free nodes).
@@ -118,6 +142,8 @@ class TimingWheel {
 
   uint32_t AllocNode();
   void FreeNode(uint32_t idx);
+
+  EventId ScheduleImpl(SimTime when, uint64_t seq, EventFn fn);
 
   // Places a (non-due) node into the wheel or the overflow heap based on its
   // distance from the cursor. Past-dated nodes are clamped into the cursor's

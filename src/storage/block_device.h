@@ -18,6 +18,9 @@
 
 namespace ice {
 
+class BinaryReader;
+class BinaryWriter;
+
 struct FlashProfile {
   std::string name;
   SimDuration read_per_page = Us(20);
@@ -65,6 +68,12 @@ class BlockDevice {
   double mean_latency_us() const;
 
   const FlashProfile& profile() const { return profile_; }
+
+  // Snapshot support. A quiescent point requires an idle device — queued or
+  // in-flight commands carry completion closures the snapshot cannot carry —
+  // so SaveTo ICE_CHECKs emptiness and serializes only counters + RNG.
+  void SaveTo(BinaryWriter& w) const;
+  void RestoreFrom(BinaryReader& r);
 
  private:
   void MaybeStart();

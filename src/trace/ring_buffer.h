@@ -11,6 +11,9 @@
 
 namespace ice {
 
+class BinaryReader;
+class BinaryWriter;
+
 class TraceRingBuffer {
  public:
   explicit TraceRingBuffer(size_t capacity) : buf_(capacity == 0 ? 1 : capacity) {}
@@ -47,6 +50,11 @@ class TraceRingBuffer {
     size_ = 0;
     dropped_ = 0;
   }
+
+  // Snapshot support (raw dump; TraceEvent is a fixed-size POD). Restore
+  // requires an identically-sized buffer (same trace config).
+  void SaveTo(BinaryWriter& w) const;
+  void RestoreFrom(BinaryReader& r);
 
  private:
   std::vector<TraceEvent> buf_;

@@ -66,6 +66,11 @@ class Tracer {
   // byte-for-byte between serial and parallel sweeps.
   std::string Serialize() const;
 
+  // Snapshot support. The ring content, totals and task-name table are all
+  // part of the deterministic state a forked cell must reproduce.
+  void SaveTo(BinaryWriter& w) const;
+  void RestoreFrom(BinaryReader& r);
+
  private:
   TraceRingBuffer ring_;
   uint64_t emitted_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "src/base/binary_stream.h"
 #include "src/base/log.h"
 #include "src/proc/task.h"
 
@@ -62,6 +63,20 @@ void PeriodicTouchBehavior::Run(TaskContext& ctx) {
     ctx.SleepFor(static_cast<SimDuration>(std::max(1.0, sleep_target)));
     return;
   }
+}
+
+void PeriodicTouchBehavior::SaveTo(BinaryWriter& w) const {
+  w.Bool(started_);
+  w.U32(remaining_touches_);
+  w.U64(remaining_cpu_);
+  w.Bool(burst_open_);
+}
+
+void PeriodicTouchBehavior::RestoreFrom(BinaryReader& r) {
+  started_ = r.Bool();
+  remaining_touches_ = r.U32();
+  remaining_cpu_ = static_cast<SimDuration>(r.U64());
+  burst_open_ = r.Bool();
 }
 
 void AttachBgActivity(ActivityManager& am, App& app, const BgActivityParams& params,

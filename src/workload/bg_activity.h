@@ -41,6 +41,12 @@ class PeriodicTouchBehavior : public Behavior {
 
   void Run(TaskContext& ctx) override;
 
+  // Burst progress is plain counters (no closures), so a mid-burst task can
+  // be snapshotted; the params are structural (rebuilt by the bg-task
+  // factory during lifecycle replay).
+  void SaveTo(BinaryWriter& w) const override;
+  void RestoreFrom(BinaryReader& r) override;
+
  private:
   struct Sample {
     AddressSpace* space;

@@ -3,10 +3,15 @@
 #include <algorithm>
 #include <memory>
 
+#include "src/base/binary_stream.h"
 #include "src/base/log.h"
 #include "src/proc/task.h"
 
 namespace ice {
+
+void FillOnceBehavior::SaveTo(BinaryWriter& w) const { w.U32(cursor_); }
+
+void FillOnceBehavior::RestoreFrom(BinaryReader& r) { cursor_ = r.U32(); }
 
 void FillOnceBehavior::Run(TaskContext& ctx) {
   while (!ctx.ShouldStop()) {

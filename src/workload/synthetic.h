@@ -21,6 +21,9 @@ class FillOnceBehavior : public Behavior {
 
   bool done() const { return cursor_ >= end_; }
 
+  void SaveTo(BinaryWriter& w) const override;
+  void RestoreFrom(BinaryReader& r) override;
+
  private:
   AddressSpace* space_;
   uint32_t cursor_;

@@ -1,0 +1,145 @@
+#include "src/base/binary_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ice {
+namespace {
+
+std::vector<uint8_t> SampleStream() {
+  BinaryWriter w;
+  w.BeginSection(7);
+  w.U8(0xab);
+  w.U16(0xbeef);
+  w.U32(0xdeadbeefu);
+  w.U64(0x0123456789abcdefull);
+  w.I64(-42);
+  w.F64(3.25);
+  w.Bool(true);
+  w.Str("hello snapshot");
+  w.BeginSection(9);
+  uint32_t raw[4] = {1, 2, 3, 4};
+  w.Bytes(raw, sizeof(raw));
+  w.EndSection();
+  w.EndSection();
+  return w.Finish();
+}
+
+TEST(BinaryStreamTest, RoundTripAllTypes) {
+  std::vector<uint8_t> buf = SampleStream();
+  BinaryReader r(buf);
+  r.ExpectSection(7);
+  EXPECT_EQ(r.U8(), 0xab);
+  EXPECT_EQ(r.U16(), 0xbeef);
+  EXPECT_EQ(r.U32(), 0xdeadbeefu);
+  EXPECT_EQ(r.U64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.I64(), -42);
+  EXPECT_DOUBLE_EQ(r.F64(), 3.25);
+  EXPECT_TRUE(r.Bool());
+  EXPECT_EQ(r.Str(), "hello snapshot");
+  r.ExpectSection(9);
+  uint32_t raw[4] = {};
+  r.Bytes(raw, sizeof(raw));
+  EXPECT_EQ(raw[0], 1u);
+  EXPECT_EQ(raw[3], 4u);
+  r.EndSection();
+  r.EndSection();
+  r.ExpectEnd();
+}
+
+TEST(BinaryStreamTest, EmptyStreamRoundTrips) {
+  BinaryWriter w;
+  std::vector<uint8_t> buf = w.Finish();
+  BinaryReader r(buf);
+  r.ExpectEnd();
+}
+
+TEST(BinaryStreamTest, WrongSectionTagThrows) {
+  std::vector<uint8_t> buf = SampleStream();
+  BinaryReader r(buf);
+  EXPECT_THROW(r.ExpectSection(8), std::runtime_error);
+}
+
+TEST(BinaryStreamTest, TruncatedStreamThrows) {
+  std::vector<uint8_t> buf = SampleStream();
+  for (size_t cut : {size_t{0}, size_t{5}, buf.size() / 2, buf.size() - 1}) {
+    std::vector<uint8_t> trunc(buf.begin(), buf.begin() + cut);
+    EXPECT_THROW(BinaryReader r(trunc), std::runtime_error) << "cut=" << cut;
+  }
+}
+
+TEST(BinaryStreamTest, CorruptByteThrowsChecksum) {
+  std::vector<uint8_t> buf = SampleStream();
+  buf[buf.size() / 2] ^= 0x40;
+  try {
+    BinaryReader r(buf);
+    FAIL() << "corrupt stream accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+}
+
+TEST(BinaryStreamTest, BadMagicThrows) {
+  std::vector<uint8_t> buf = SampleStream();
+  buf[0] = 'X';
+  // Keep the checksum valid so the magic check itself is exercised.
+  uint64_t sum = SnapshotChecksum64(buf.data(), buf.size() - 8);
+  for (int i = 0; i < 8; ++i) {
+    buf[buf.size() - 8 + i] = static_cast<uint8_t>(sum >> (8 * i));
+  }
+  try {
+    BinaryReader r(buf);
+    FAIL() << "bad magic accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos);
+  }
+}
+
+TEST(BinaryStreamTest, VersionMismatchThrows) {
+  std::vector<uint8_t> buf = SampleStream();
+  buf[8] = 99;  // Version field follows the 8-byte magic.
+  uint64_t sum = SnapshotChecksum64(buf.data(), buf.size() - 8);
+  for (int i = 0; i < 8; ++i) {
+    buf[buf.size() - 8 + i] = static_cast<uint8_t>(sum >> (8 * i));
+  }
+  try {
+    BinaryReader r(buf);
+    FAIL() << "version skew accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST(BinaryStreamTest, SectionUnderreadDetected) {
+  BinaryWriter w;
+  w.BeginSection(3);
+  w.U64(1);
+  w.U64(2);
+  w.EndSection();
+  std::vector<uint8_t> buf = w.Finish();
+  BinaryReader r(buf);
+  r.ExpectSection(3);
+  r.U64();
+  EXPECT_THROW(r.EndSection(), std::runtime_error);
+}
+
+TEST(BinaryStreamTest, SectionOverreadDetected) {
+  BinaryWriter w;
+  w.BeginSection(3);
+  w.U32(1);
+  w.EndSection();
+  w.U64(0x1111111111111111ull);
+  std::vector<uint8_t> buf = w.Finish();
+  BinaryReader r(buf);
+  r.ExpectSection(3);
+  r.U32();
+  // Reading past the section boundary must throw even though the outer
+  // stream has bytes left.
+  EXPECT_THROW(r.U64(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ice

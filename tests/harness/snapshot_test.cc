@@ -1,0 +1,210 @@
+// Snapshot round-trip property tests: saving at a quiescent boundary and
+// restoring into a fresh Experiment must reproduce the uninterrupted run
+// byte for byte — same stats, same trace, same metrics — across every
+// scheme and both aging policies. Malformed streams must fail loudly.
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/base/binary_stream.h"
+#include "src/harness/experiment.h"
+#include "src/trace/tracer.h"
+#include "src/workload/scenario.h"
+
+namespace ice {
+namespace {
+
+ExperimentConfig SmallConfig(const std::string& scheme, const std::string& aging,
+                             bool trace = false) {
+  ExperimentConfig config;
+  config.device = Pixel3Profile();
+  config.seed = 1234;
+  config.scheme = scheme;
+  config.aging = aging;
+  config.trace = trace;
+  return config;
+}
+
+// Digest of all live state reachable through public accessors: the stats
+// registry plus scheduler/engine clocks. Cheap but broad — any divergence
+// in reclaim, IO, scheduling, freezing or LMK shows up here.
+std::string StateDigest(Experiment& e) {
+  std::string out;
+  out += "now=" + std::to_string(e.engine().now());
+  out += " ticks=" + std::to_string(e.engine().ticks_elapsed());
+  out += " busy=" + std::to_string(e.scheduler().busy_us());
+  out += " cap=" + std::to_string(e.scheduler().capacity_us());
+  for (const auto& [name, value] : e.engine().stats().Snapshot()) {
+    out += " " + name + "=" + std::to_string(value);
+  }
+  return out;
+}
+
+// Cache two apps cold, snapshot, then compare: (a) the uninterrupted
+// continuation against (b) a restored clone running the same continuation.
+void RoundTripIdentical(const std::string& scheme, const std::string& aging) {
+  SCOPED_TRACE(scheme + "/" + aging);
+  ExperimentConfig config = SmallConfig(scheme, aging);
+
+  Experiment cold(config);
+  std::vector<Uid> pool = cold.PlanBackgroundPool();
+  ASSERT_GE(pool.size(), 2u);
+  ASSERT_TRUE(cold.CacheOneBackgroundApp(pool[0]));
+  ASSERT_TRUE(cold.CacheOneBackgroundApp(pool[1]));
+  ASSERT_TRUE(cold.QuiescentNow());
+  std::vector<uint8_t> snapshot = cold.SaveSnapshot();
+
+  // Saving must not perturb the donor: continue it as the reference run.
+  cold.FinishCaching();
+  ScenarioResult want = cold.RunScenario(ScenarioKind::kScrolling, Sec(20), Sec(10));
+  std::string want_digest = StateDigest(cold);
+
+  auto restored = Experiment::RestoreSnapshot(config, snapshot);
+  ScenarioResult got;
+  {
+    Experiment& e = *restored;
+    e.FinishCaching();
+    got = e.RunScenario(ScenarioKind::kScrolling, Sec(20), Sec(10));
+  }
+  EXPECT_EQ(want_digest, StateDigest(*restored));
+  EXPECT_EQ(want.avg_fps, got.avg_fps);
+  EXPECT_EQ(want.ria, got.ria);
+  EXPECT_EQ(want.fps_series, got.fps_series);
+  EXPECT_EQ(want.reclaims, got.reclaims);
+  EXPECT_EQ(want.refaults, got.refaults);
+  EXPECT_EQ(want.io_requests, got.io_requests);
+  EXPECT_EQ(want.io_bytes, got.io_bytes);
+  EXPECT_EQ(want.cpu_util, got.cpu_util);
+  EXPECT_EQ(want.freezes, got.freezes);
+  EXPECT_EQ(want.thaws, got.thaws);
+  EXPECT_EQ(want.lmk_kills, got.lmk_kills);
+}
+
+TEST(SnapshotRoundTrip, LruCfsTwoList) { RoundTripIdentical("lru_cfs", "two_list"); }
+TEST(SnapshotRoundTrip, LruCfsGenClock) { RoundTripIdentical("lru_cfs", "gen_clock"); }
+TEST(SnapshotRoundTrip, UcsgTwoList) { RoundTripIdentical("ucsg", "two_list"); }
+TEST(SnapshotRoundTrip, AcclaimGenClock) { RoundTripIdentical("acclaim", "gen_clock"); }
+TEST(SnapshotRoundTrip, PowerTwoList) { RoundTripIdentical("power", "two_list"); }
+TEST(SnapshotRoundTrip, IceTwoList) { RoundTripIdentical("ice", "two_list"); }
+TEST(SnapshotRoundTrip, IceGenClock) { RoundTripIdentical("ice", "gen_clock"); }
+
+// The trace ring, totals and task names survive the round trip: the
+// restored run's serialized trace equals the uninterrupted run's.
+TEST(SnapshotRoundTrip, TraceByteIdentical) {
+  ExperimentConfig config = SmallConfig("ice", "two_list", /*trace=*/true);
+
+  Experiment cold(config);
+  std::vector<Uid> pool = cold.PlanBackgroundPool();
+  ASSERT_TRUE(cold.CacheOneBackgroundApp(pool[0]));
+  ASSERT_TRUE(cold.CacheOneBackgroundApp(pool[1]));
+  std::vector<uint8_t> snapshot = cold.SaveSnapshot();
+  cold.FinishCaching();
+  cold.RunScenario(ScenarioKind::kShortVideo, Sec(15), Sec(5));
+  std::string want = cold.tracer()->Serialize();
+
+  auto restored = Experiment::RestoreSnapshot(config, snapshot);
+  restored->FinishCaching();
+  restored->RunScenario(ScenarioKind::kShortVideo, Sec(15), Sec(5));
+  EXPECT_EQ(want, restored->tracer()->Serialize());
+}
+
+// A snapshot is reusable: two restores from the same bytes are identical.
+TEST(SnapshotRoundTrip, RestoreTwiceIdentical) {
+  ExperimentConfig config = SmallConfig("lru_cfs", "two_list");
+  Experiment cold(config);
+  std::vector<Uid> pool = cold.PlanBackgroundPool();
+  ASSERT_TRUE(cold.CacheOneBackgroundApp(pool[0]));
+  std::vector<uint8_t> snapshot = cold.SaveSnapshot();
+
+  auto a = Experiment::RestoreSnapshot(config, snapshot);
+  auto b = Experiment::RestoreSnapshot(config, snapshot);
+  a->FinishCaching();
+  b->FinishCaching();
+  a->RunScenario(ScenarioKind::kScrolling, Sec(10), Sec(5));
+  b->RunScenario(ScenarioKind::kScrolling, Sec(10), Sec(5));
+  EXPECT_EQ(StateDigest(*a), StateDigest(*b));
+}
+
+// A restored experiment is itself snapshottable: save → restore → cache one
+// more app → save again works and stays deterministic.
+TEST(SnapshotRoundTrip, RestoredRunIsResnapshottable) {
+  ExperimentConfig config = SmallConfig("ice", "two_list");
+  Experiment cold(config);
+  std::vector<Uid> pool = cold.PlanBackgroundPool();
+  ASSERT_TRUE(cold.CacheOneBackgroundApp(pool[0]));
+  std::vector<uint8_t> first = cold.SaveSnapshot();
+  ASSERT_TRUE(cold.CacheOneBackgroundApp(pool[1]));
+  std::vector<uint8_t> want = cold.SaveSnapshot();
+
+  auto restored = Experiment::RestoreSnapshot(config, first);
+  ASSERT_TRUE(restored->CacheOneBackgroundApp(pool[1]));
+  std::vector<uint8_t> got = restored->SaveSnapshot();
+  EXPECT_EQ(want, got);
+}
+
+// ---- Malformed streams ------------------------------------------------------
+
+std::vector<uint8_t> MakeSnapshot(const ExperimentConfig& config) {
+  Experiment e(config);
+  std::vector<Uid> pool = e.PlanBackgroundPool();
+  [&] { ASSERT_TRUE(e.CacheOneBackgroundApp(pool[0])); }();
+  return e.SaveSnapshot();
+}
+
+TEST(SnapshotErrors, TruncatedStreamThrows) {
+  ExperimentConfig config = SmallConfig("lru_cfs", "two_list");
+  std::vector<uint8_t> snapshot = MakeSnapshot(config);
+  snapshot.resize(snapshot.size() / 2);
+  EXPECT_THROW(Experiment::RestoreSnapshot(config, snapshot), std::runtime_error);
+}
+
+TEST(SnapshotErrors, CorruptByteThrows) {
+  ExperimentConfig config = SmallConfig("lru_cfs", "two_list");
+  std::vector<uint8_t> snapshot = MakeSnapshot(config);
+  snapshot[snapshot.size() / 2] ^= 0xFF;  // Checksum catches it up front.
+  EXPECT_THROW(Experiment::RestoreSnapshot(config, snapshot), std::runtime_error);
+}
+
+TEST(SnapshotErrors, BadMagicThrows) {
+  ExperimentConfig config = SmallConfig("lru_cfs", "two_list");
+  std::vector<uint8_t> snapshot = MakeSnapshot(config);
+  snapshot[0] = 'X';
+  EXPECT_THROW(Experiment::RestoreSnapshot(config, snapshot), std::runtime_error);
+}
+
+TEST(SnapshotErrors, VersionMismatchThrows) {
+  ExperimentConfig config = SmallConfig("lru_cfs", "two_list");
+  std::vector<uint8_t> snapshot = MakeSnapshot(config);
+  // The u32 version sits right after the 8-byte magic. Recompute the
+  // trailing checksum so the version check itself is what fires.
+  snapshot[8] = static_cast<uint8_t>(kSnapshotFormatVersion + 1);
+  uint64_t sum = SnapshotChecksum64(snapshot.data(), snapshot.size() - 8);
+  for (int i = 0; i < 8; ++i) {
+    snapshot[snapshot.size() - 8 + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(sum >> (8 * i));
+  }
+  EXPECT_THROW(Experiment::RestoreSnapshot(config, snapshot), std::runtime_error);
+}
+
+TEST(SnapshotErrors, ConfigMismatchThrows) {
+  ExperimentConfig config = SmallConfig("lru_cfs", "two_list");
+  std::vector<uint8_t> snapshot = MakeSnapshot(config);
+  ExperimentConfig other = config;
+  other.seed = config.seed + 1;
+  EXPECT_THROW(Experiment::RestoreSnapshot(other, snapshot), std::runtime_error);
+  other = config;
+  other.scheme = "ice";
+  EXPECT_THROW(Experiment::RestoreSnapshot(other, snapshot), std::runtime_error);
+}
+
+TEST(SnapshotErrors, MissingFileThrows) {
+  ExperimentConfig config = SmallConfig("lru_cfs", "two_list");
+  EXPECT_THROW(Experiment::RestoreSnapshotFromFile(config, "/nonexistent/snap.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ice
