@@ -41,6 +41,7 @@ struct CliOptions {
   std::string device = "p20";
   std::string scheme = "lru_cfs";
   std::string aging = "two_list";
+  std::string swap = "baseline";
   std::string scenario = "s-b";
   std::string bg = "-1";  // -1 = the device's full-pressure count.
   int duration_s = 30;
@@ -71,6 +72,10 @@ void PrintHelp() {
       "  --aging=NAME             page aging policy: two_list (classic LRU,\n"
       "                           default) | gen_clock (MGLRU-style generation\n"
       "                           clock); a comma-list sweep axis in sweep mode\n"
+      "  --swap=NAME              swap-out policy: baseline (admit everything,\n"
+      "                           default) | hotness (Ariadne-style hotness-gated\n"
+      "                           admission, tiered compression, zram writeback);\n"
+      "                           a comma-list sweep axis in sweep mode\n"
       "  --scenario=s-a|s-b|s-c|s-d   video call / short video / scrolling / game\n"
       "  --bg=N                   cached background apps (default: device full pressure)\n"
       "  --duration=SECONDS       measurement window (default 30)\n"
@@ -165,6 +170,16 @@ void CheckAgingName(const std::string& name) {
   }
 }
 
+// Validates a swap-policy spelling, exiting like the other name parsers.
+void CheckSwapName(const std::string& name) {
+  SwapPolicy policy;
+  if (!SwapPolicyFromName(name, &policy)) {
+    std::fprintf(stderr, "unknown swap policy '%s' (known: baseline hotness)\n",
+                 name.c_str());
+    std::exit(2);
+  }
+}
+
 DeviceProfile DeviceFromName(const std::string& name) {
   if (name == "p20") {
     return P20Profile();
@@ -196,6 +211,10 @@ int RunSweep(const CliOptions& opts) {
   axes.agings = SplitList(opts.aging);
   for (const std::string& a : axes.agings) {
     CheckAgingName(a);
+  }
+  axes.swaps = SplitList(opts.swap);
+  for (const std::string& s : axes.swaps) {
+    CheckSwapName(s);
   }
   for (const std::string& s : SplitList(opts.scenario)) {
     axes.scenarios.push_back(KindFromName(s));
@@ -259,6 +278,8 @@ int RunFleet(const CliOptions& opts) {
   config.sessions = opts.sessions;
   CheckAgingName(opts.aging);
   config.aging = opts.aging;
+  CheckSwapName(opts.swap);
+  config.swap = opts.swap;
   config.schemes = SplitList(opts.scheme);
   RegisterIceScheme();
   for (const std::string& s : config.schemes) {
@@ -347,6 +368,8 @@ int main(int argc, char** argv) {
       opts.scheme = value;
     } else if (ParseArg(argv[i], "--aging", &value)) {
       opts.aging = value;
+    } else if (ParseArg(argv[i], "--swap", &value)) {
+      opts.swap = value;
     } else if (ParseArg(argv[i], "--scenario", &value)) {
       opts.scenario = value;
     } else if (ParseArg(argv[i], "--bg", &value)) {
@@ -403,6 +426,8 @@ int main(int argc, char** argv) {
   config.scheme = opts.scheme;
   CheckAgingName(opts.aging);
   config.aging = opts.aging;
+  CheckSwapName(opts.swap);
+  config.swap = opts.swap;
   config.seed = std::strtoull(opts.seed.c_str(), nullptr, 10);
   config.trace = opts.trace;
   config.trace_buffer_pages = opts.trace_buffer_pages;

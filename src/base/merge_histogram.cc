@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "src/base/binary_stream.h"
 #include "src/base/log.h"
 
 namespace ice {
@@ -140,6 +141,34 @@ double MergeHistogram::Percentile(double q) const {
     cum += n;
   }
   return Max();
+}
+
+void MergeHistogram::SaveTo(BinaryWriter& w) const {
+  w.F64(options_.lo);
+  w.F64(options_.hi);
+  w.U32(options_.buckets);
+  for (uint64_t c : counts_) {
+    w.U64(c);
+  }
+  w.U64(count_);
+  w.F64(sum_);
+  w.F64(min_);
+  w.F64(max_);
+}
+
+void MergeHistogram::RestoreFrom(BinaryReader& r) {
+  const double lo = r.F64();
+  const double hi = r.F64();
+  const uint32_t buckets = r.U32();
+  ICE_CHECK(lo == options_.lo && hi == options_.hi && buckets == options_.buckets)
+      << "restoring a histogram with a different bucket shape";
+  for (uint64_t& c : counts_) {
+    c = r.U64();
+  }
+  count_ = r.U64();
+  sum_ = r.F64();
+  min_ = r.F64();
+  max_ = r.F64();
 }
 
 std::string MergeHistogram::Summary() const {

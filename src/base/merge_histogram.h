@@ -24,6 +24,9 @@
 
 namespace ice {
 
+class BinaryReader;
+class BinaryWriter;
+
 class MergeHistogram {
  public:
   struct Options {
@@ -68,6 +71,13 @@ class MergeHistogram {
 
   // "count=.. mean=.. p50=.. p95=.. max=.." one-liner for reports.
   std::string Summary() const;
+
+  // Snapshot support: writes the shape (checked on restore — a histogram
+  // only restores into one constructed with the same Options) plus counts
+  // and running aggregates. bounds_ are recomputed by the constructor, so
+  // they are not serialized.
+  void SaveTo(BinaryWriter& w) const;
+  void RestoreFrom(BinaryReader& r);
 
  private:
   Options options_;

@@ -77,6 +77,14 @@ inline constexpr const char* kDirectReclaims = "mem.direct_reclaims";
 inline constexpr const char* kKswapdWakeups = "mem.kswapd_wakeups";
 inline constexpr const char* kZramStores = "mem.zram_stores";
 inline constexpr const char* kZramLoads = "mem.zram_loads";
+// A Store refused for lack of capacity (the pool hard-stopped mid-batch).
+inline constexpr const char* kZramRejects = "mem.zram_rejects";
+// Hotness swap policy: victims kept resident by the admission gate, pages
+// written back from zram to flash, and stores by compression tier.
+inline constexpr const char* kSwapRejectsHot = "swap.rejects_hot";
+inline constexpr const char* kSwapWritebackPages = "swap.writeback_pages";
+inline constexpr const char* kSwapStoresFast = "swap.stores_fast";
+inline constexpr const char* kSwapStoresDense = "swap.stores_dense";
 inline constexpr const char* kIoReads = "io.reads";
 inline constexpr const char* kIoWrites = "io.writes";
 inline constexpr const char* kIoReadBytes = "io.read_bytes";

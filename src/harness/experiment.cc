@@ -52,6 +52,8 @@ Experiment::Experiment(const ExperimentConfig& config,
   MemConfig mem_config = config_.device.mem;
   ICE_CHECK(AgingPolicyFromName(config_.aging, &mem_config.aging))
       << "unknown aging policy: " << config_.aging;
+  ICE_CHECK(SwapPolicyFromName(config_.swap, &mem_config.swap.policy))
+      << "unknown swap policy: " << config_.swap;
   mm_ = std::make_unique<MemoryManager>(*engine_, mem_config, storage_.get());
   scheduler_ = std::make_unique<Scheduler>(*engine_, *mm_, config_.device.num_cores);
   services_ = std::make_unique<SystemServices>(*scheduler_, *mm_, config_.services);
@@ -213,6 +215,14 @@ ScenarioResult Experiment::RunScenarioForApp(Uid uid, ScenarioKind kind,
   result.thaws = delta[stat::kThaws];
   result.lmk_kills = delta[stat::kLmkKills];
   result.arena_bytes_peak = mm_->arena_bytes_peak();
+  result.zram_rejects = delta[stat::kZramRejects];
+  result.swap_rejects_hot = delta[stat::kSwapRejectsHot];
+  result.swap_writeback_pages = delta[stat::kSwapWritebackPages];
+  result.swap_stores_fast = delta[stat::kSwapStoresFast];
+  result.swap_stores_dense = delta[stat::kSwapStoresDense];
+  // Lifetime distribution, like arena_bytes_peak: stores during warmup and
+  // background caching are exactly the admission decisions worth observing.
+  result.zram_compressed_bytes = mm_->swap_governor().compressed_bytes();
   uint64_t cap = scheduler_->capacity_us() - cap_before;
   result.cpu_util =
       cap == 0 ? 0.0 : static_cast<double>(scheduler_->busy_us() - busy_before) / cap;
@@ -260,6 +270,7 @@ std::string ConfigFingerprint(const ExperimentConfig& c) {
       << " reserved=" << c.device.mem.os_reserved_pages
       << " hwm=" << c.device.mdt_hwm_mib << " fpba=" << c.device.full_pressure_bg_apps
       << " seed=" << c.seed << " scheme=" << c.scheme << " aging=" << c.aging
+      << " swap=" << c.swap
       << " fscale=" << c.tuning.footprint_scale
       << " bgscale=" << c.tuning.bg_activity_scale << " ext=" << c.extended_catalog
       << " nogc=" << c.disable_gc << " svc=" << c.services.service_tasks << '/'

@@ -40,6 +40,10 @@ struct ExperimentConfig {
   // "gen_clock" (MGLRU-style generation clock). A sweepable axis, orthogonal
   // to the scheme (any policy scheme runs on either aging substrate).
   std::string aging = "two_list";
+  // Swap-out policy: "baseline" (admit-everything zram) or "hotness" (the
+  // Ariadne-style hotness-gated, size-adaptive policy in src/swap/). Another
+  // sweepable axis, orthogonal to both scheme and aging.
+  std::string swap = "baseline";
   WorkloadTuning tuning;
   bool extended_catalog = false;  // 40 apps (§3.2 study) instead of 20.
   bool disable_gc = false;        // The "idle runtime GC off" experiment.
@@ -73,6 +77,17 @@ struct ScenarioResult {
   // (MemoryManager::arena_bytes_peak()) over the experiment lifetime, so
   // sweep reports carry the same metadata-footprint figure fleet reports do.
   uint64_t arena_bytes_peak = 0;
+  // Swap-policy observability: capacity rejects are meaningful under any
+  // policy; the rest move only under "hotness" and are reported only then.
+  uint64_t zram_rejects = 0;
+  uint64_t swap_rejects_hot = 0;
+  uint64_t swap_writeback_pages = 0;
+  uint64_t swap_stores_fast = 0;
+  uint64_t swap_stores_dense = 0;
+  // Compressed-size distribution of every zram store (hotness policy only;
+  // empty under baseline). Shape is the shared kZramSizeHist* bucketing.
+  MergeHistogram zram_compressed_bytes{MergeHistogram::Options{
+      kZramSizeHistLo, kZramSizeHistHi, kZramSizeHistBuckets}};
   // Filled from the experiment's tracer when tracing is enabled.
   TraceSummary trace;
 };

@@ -28,6 +28,7 @@ void FleetGroupStats::MergeFrom(const FleetGroupStats& other) {
   ria.Merge(other.ria);
   refaults.Merge(other.refaults);
   lmk_kills.Merge(other.lmk_kills);
+  zram_compressed_bytes.Merge(other.zram_compressed_bytes);
   total_frames += other.total_frames;
   total_refaults += other.total_refaults;
   total_lmk_kills += other.total_lmk_kills;
@@ -42,6 +43,9 @@ FleetRunner::FleetRunner(const FleetConfig& config) : config_(config) {
     ICE_CHECK(IsFleetTier(tier)) << "unknown fleet tier: " << tier;
   }
   ICE_CHECK(!config_.schemes.empty());
+  SwapPolicy swap_policy;
+  ICE_CHECK(SwapPolicyFromName(config_.swap, &swap_policy))
+      << "unknown swap policy: " << config_.swap;
   ICE_CHECK_GE(config_.sessions, 1);
   if (config_.jobs <= 0) {
     config_.jobs = DefaultSweepJobs();
@@ -85,6 +89,7 @@ void FleetRunner::RunDevice(uint64_t device_index, FleetGroupStats& group) const
   const size_t g = GroupOf(device_index);
   ExperimentConfig ec;
   ec.aging = config_.aging;
+  ec.swap = config_.swap;
   ec.device = FleetTierProfile(config_.tiers[g / config_.schemes.size()]);
   ec.scheme = config_.schemes[g % config_.schemes.size()];
   ec.seed = DeviceSeed(config_.seed, device_index);
@@ -119,6 +124,7 @@ void FleetRunner::RunDevice(uint64_t device_index, FleetGroupStats& group) const
   const uint64_t kills = st.Get(stat::kLmkKills);
   group.refaults.Add(static_cast<double>(refaults));
   group.lmk_kills.Add(static_cast<double>(kills));
+  group.zram_compressed_bytes.Merge(exp.mm().swap_governor().compressed_bytes());
   group.total_frames += frames.frames_completed();
   group.total_refaults += refaults;
   group.total_lmk_kills += kills;

@@ -29,6 +29,7 @@
 
 #include "src/base/merge_histogram.h"
 #include "src/base/units.h"
+#include "src/swap/swap_policy.h"
 
 namespace ice {
 
@@ -40,6 +41,8 @@ struct FleetConfig {
   std::vector<std::string> schemes{"lru_cfs", "ice"};
   // Page aging policy for every device ("two_list" / "gen_clock").
   std::string aging = "two_list";
+  // Swap-out policy for every device ("baseline" / "hotness").
+  std::string swap = "baseline";
   // Tier names (see FleetTierNames()); empty = the full default ladder.
   std::vector<std::string> tiers;
   // Per-device daily-usage shape: one compressed "day" of foreground
@@ -70,6 +73,10 @@ struct FleetGroupStats {
   MergeHistogram ria{{1e-4, 1.0, 48}};
   MergeHistogram refaults{{1.0, 1e8, 80}};
   MergeHistogram lmk_kills{{1.0, 1e4, 32}};
+  // Per-store compressed sizes across the group's devices (hotness swap
+  // policy only; stays empty — and unreported — under baseline).
+  MergeHistogram zram_compressed_bytes{
+      {kZramSizeHistLo, kZramSizeHistHi, kZramSizeHistBuckets}};
 
   uint64_t total_frames = 0;
   uint64_t total_refaults = 0;

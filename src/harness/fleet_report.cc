@@ -77,7 +77,8 @@ void AppendHistogram(std::ostringstream& out, const char* key,
   out << "}";
 }
 
-void AppendGroup(std::ostringstream& out, const FleetGroupStats& g) {
+void AppendGroup(std::ostringstream& out, const FleetGroupStats& g,
+                 bool include_swap) {
   out << "    {\"tier\": \"" << JsonEscape(g.tier) << "\", \"scheme\": \""
       << JsonEscape(g.scheme) << "\", \"devices\": " << g.devices
       << ", \"failures\": " << g.failures;
@@ -95,6 +96,10 @@ void AppendGroup(std::ostringstream& out, const FleetGroupStats& g) {
   AppendHistogram(out, "refaults", g.refaults);
   out << ",\n     ";
   AppendHistogram(out, "lmk_kills", g.lmk_kills);
+  if (include_swap) {
+    out << ",\n     ";
+    AppendHistogram(out, "zram_compressed_bytes", g.zram_compressed_bytes);
+  }
   out << ",\n     \"total_frames\": " << g.total_frames
       << ", \"total_refaults\": " << g.total_refaults
       << ", \"total_lmk_kills\": " << g.total_lmk_kills
@@ -111,6 +116,9 @@ std::string FleetReportJson(const std::string& name, const FleetResult& result) 
   if (c.aging != "two_list") {
     out << "  \"aging\": \"" << JsonEscape(c.aging) << "\",\n";
   }
+  if (c.swap != "baseline") {
+    out << "  \"swap\": \"" << JsonEscape(c.swap) << "\",\n";
+  }
   out << "  \"devices\": " << c.devices << ",\n"
       << "  \"chunk\": " << c.chunk << ",\n"
       << "  \"seed\": " << c.seed << ",\n"
@@ -120,7 +128,7 @@ std::string FleetReportJson(const std::string& name, const FleetResult& result) 
       << "  \"peak_arena_bytes\": " << result.peak_arena_bytes << ",\n"
       << "  \"groups\": [\n";
   for (size_t i = 0; i < result.groups.size(); ++i) {
-    AppendGroup(out, result.groups[i]);
+    AppendGroup(out, result.groups[i], /*include_swap=*/c.swap != "baseline");
     out << (i + 1 < result.groups.size() ? ",\n" : "\n");
   }
   out << "  ]\n}\n";

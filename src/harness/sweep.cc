@@ -14,25 +14,30 @@ namespace ice {
 std::vector<SweepCell> SweepAxes::Cells() const {
   std::vector<SweepCell> cells;
   cells.reserve(size());
+  const std::vector<std::string> swap_axis =
+      swaps.empty() ? std::vector<std::string>{base.swap} : swaps;
   const std::vector<std::string> aging_axis =
       agings.empty() ? std::vector<std::string>{base.aging} : agings;
-  for (const std::string& aging : aging_axis) {
-    for (const DeviceProfile& device : devices) {
-      for (const std::string& scheme : schemes) {
-        for (ScenarioKind scenario : scenarios) {
-          for (int bg : bg_counts) {
-            for (uint64_t seed : seeds) {
-              SweepCell cell;
-              cell.config = base;
-              cell.config.aging = aging;
-              cell.config.device = device;
-              cell.config.scheme = scheme;
-              cell.config.seed = seed;
-              cell.scenario = scenario;
-              cell.bg_apps = bg;
-              cell.duration = duration;
-              cell.warmup = warmup;
-              cells.push_back(cell);
+  for (const std::string& swap : swap_axis) {
+    for (const std::string& aging : aging_axis) {
+      for (const DeviceProfile& device : devices) {
+        for (const std::string& scheme : schemes) {
+          for (ScenarioKind scenario : scenarios) {
+            for (int bg : bg_counts) {
+              for (uint64_t seed : seeds) {
+                SweepCell cell;
+                cell.config = base;
+                cell.config.swap = swap;
+                cell.config.aging = aging;
+                cell.config.device = device;
+                cell.config.scheme = scheme;
+                cell.config.seed = seed;
+                cell.scenario = scenario;
+                cell.bg_apps = bg;
+                cell.duration = duration;
+                cell.warmup = warmup;
+                cells.push_back(cell);
+              }
             }
           }
         }

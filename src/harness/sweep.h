@@ -45,6 +45,10 @@ struct SweepAxes {
   // Outermost (slowest) axis, so a grid without it enumerates exactly as
   // before the axis existed.
   std::vector<std::string> agings;
+  // Swap policies ("baseline" / "hotness"); empty = base.swap only. Sits
+  // outside even `agings` under the same rule: a grid without it enumerates
+  // exactly as before.
+  std::vector<std::string> swaps;
   SimDuration duration = Sec(30);
   SimDuration warmup = Sec(240);
   // Applied to every cell before the per-axis fields; lets callers sweep
@@ -53,12 +57,13 @@ struct SweepAxes {
 
   std::vector<SweepCell> Cells() const;
   // Flat index of (device, scheme, scenario, bg, seed) into Cells(), within
-  // the first (or only) aging block.
+  // the first (or only) swap/aging block.
   size_t Index(size_t device, size_t scheme, size_t scenario, size_t bg,
                size_t seed) const;
   size_t size() const {
-    return (agings.empty() ? 1 : agings.size()) * devices.size() * schemes.size() *
-           scenarios.size() * bg_counts.size() * seeds.size();
+    return (swaps.empty() ? 1 : swaps.size()) * (agings.empty() ? 1 : agings.size()) *
+           devices.size() * schemes.size() * scenarios.size() * bg_counts.size() *
+           seeds.size();
   }
 };
 

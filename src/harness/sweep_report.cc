@@ -50,6 +50,33 @@ std::string JsonNum(double v) {
   return buf;
 }
 
+// Same histogram serialization the fleet report uses: summary statistics
+// plus the sparse list of non-empty buckets.
+void AppendHistogram(std::ostringstream& out, const char* key,
+                     const MergeHistogram& h) {
+  out << "\"" << key << "\": {\"count\": " << h.count();
+  if (h.count() > 0) {
+    out << ", \"sum\": " << JsonNum(h.Sum()) << ", \"min\": " << JsonNum(h.Min())
+        << ", \"max\": " << JsonNum(h.Max())
+        << ", \"p50\": " << JsonNum(h.Percentile(0.5))
+        << ", \"p90\": " << JsonNum(h.Percentile(0.9))
+        << ", \"p99\": " << JsonNum(h.Percentile(0.99)) << ", \"buckets\": [";
+    bool first = true;
+    for (size_t i = 0; i < h.num_buckets(); ++i) {
+      if (h.bucket_count(i) == 0) {
+        continue;
+      }
+      if (!first) {
+        out << ", ";
+      }
+      first = false;
+      out << "[" << i << ", " << h.bucket_count(i) << "]";
+    }
+    out << "]";
+  }
+  out << "}";
+}
+
 void AppendCell(std::ostringstream& out, const SweepCell& cell,
                 const CellOutcome& outcome) {
   const ExperimentConfig& c = cell.config;
@@ -59,6 +86,9 @@ void AppendCell(std::ostringstream& out, const SweepCell& cell,
   // Emitted only off the default so pre-existing reports stay byte-identical.
   if (c.aging != "two_list") {
     out << ", \"aging\": \"" << JsonEscape(c.aging) << "\"";
+  }
+  if (c.swap != "baseline") {
+    out << ", \"swap\": \"" << JsonEscape(c.swap) << "\"";
   }
   out << ", \"scenario\": \"" << ScenarioLabel(cell.scenario) << "\""
       << ", \"bg_apps\": " << bg << ", \"seed\": " << c.seed
@@ -77,8 +107,20 @@ void AppendCell(std::ostringstream& out, const SweepCell& cell,
       << ", \"io_requests\": " << r.io_requests << ", \"io_bytes\": " << r.io_bytes
       << ", \"cpu_util\": " << JsonNum(r.cpu_util) << ", \"freezes\": " << r.freezes
       << ", \"thaws\": " << r.thaws << ", \"lmk_kills\": " << r.lmk_kills
-      << ", \"arena_bytes_peak\": " << r.arena_bytes_peak
-      << ", \"fps_series\": [";
+      << ", \"arena_bytes_peak\": " << r.arena_bytes_peak;
+  // Byte-compat rule: keys below appear only when they carry signal, so
+  // baseline-swap reports do not change shape.
+  if (r.zram_rejects > 0) {
+    out << ", \"zram_rejects\": " << r.zram_rejects;
+  }
+  if (c.swap != "baseline") {
+    out << ", \"swap_rejects_hot\": " << r.swap_rejects_hot
+        << ", \"swap_writeback_pages\": " << r.swap_writeback_pages
+        << ", \"swap_stores_fast\": " << r.swap_stores_fast
+        << ", \"swap_stores_dense\": " << r.swap_stores_dense << ", ";
+    AppendHistogram(out, "zram_compressed_bytes", r.zram_compressed_bytes);
+  }
+  out << ", \"fps_series\": [";
   for (size_t i = 0; i < r.fps_series.size(); ++i) {
     if (i > 0) {
       out << ", ";

@@ -30,7 +30,12 @@ MemoryManager::HotCounters::HotCounters(StatsRegistry& st)
       pages_reclaimed_anon_direct(st.Counter(stat::kPagesReclaimedAnonDirect)),
       pages_reclaimed_file(st.Counter(stat::kPagesReclaimedFile)),
       pages_reclaimed_file_kswapd(st.Counter(stat::kPagesReclaimedFileKswapd)),
-      pages_reclaimed_file_direct(st.Counter(stat::kPagesReclaimedFileDirect)) {}
+      pages_reclaimed_file_direct(st.Counter(stat::kPagesReclaimedFileDirect)),
+      zram_rejects(st.Counter(stat::kZramRejects)),
+      swap_rejects_hot(st.Counter(stat::kSwapRejectsHot)),
+      swap_writeback_pages(st.Counter(stat::kSwapWritebackPages)),
+      swap_stores_fast(st.Counter(stat::kSwapStoresFast)),
+      swap_stores_dense(st.Counter(stat::kSwapStoresDense)) {}
 
 MemoryManager::MemoryManager(Engine& engine, const MemConfig& config, BlockDevice* storage)
     : engine_(engine),
@@ -38,7 +43,10 @@ MemoryManager::MemoryManager(Engine& engine, const MemConfig& config, BlockDevic
       storage_(storage),
       ct_(engine.stats()),
       contention_rng_(engine.rng().Fork()),
-      zram_(config.zram, engine.rng().Fork()) {
+      // The governor holds no RNG on purpose: forking one here would shift
+      // the engine stream and break baseline byte-compat (see governor.h).
+      zram_(config.zram, engine.rng().Fork()),
+      swap_gov_(config.swap) {
   ICE_CHECK_GT(config_.total_pages, config_.os_reserved_pages);
   free_pages_ = static_cast<int64_t>(config_.total_pages - config_.os_reserved_pages);
 }
@@ -111,6 +119,8 @@ void MemoryManager::Release(AddressSpace& space) {
     p.set_state(PageState::kUntouched);
     p.set_dirty(false);
     p.set_referenced(false);
+    p.set_hotness(0);
+    p.set_zram_dense(false);
     p.evict_cookie = 0;
   }
   space.AddResident(-static_cast<int64_t>(space.resident()));
@@ -157,14 +167,23 @@ AccessOutcome MemoryManager::Access(AddressSpace& space, uint32_t vpn, bool writ
     case PageState::kInZram: {
       ++*ct_.page_faults;
       outcome.kind = AccessOutcome::Kind::kZramFault;
-      outcome.cpu_us =
-          config_.fault_fixed_cost + zram_.decompress_cost() + ContentionPenalty();
+      // Decompress cost is per-tier under the hotness policy (the dense bit
+      // remembers which codec stored the page); baseline keeps the single
+      // device codec cost. The ContentionPenalty() RNG draw stays in the
+      // same stream position either way.
+      SimDuration decompress = swap_gov_.enabled() ? swap_gov_.DecompressCost(p)
+                                                   : zram_.decompress_cost();
+      outcome.cpu_us = config_.fault_fixed_cost + decompress + ContentionPenalty();
       outcome.refault = true;
       TakeFrame(space, outcome);
       ICE_TRACE(engine_, TraceEventType::kZramDecompress,
                 {.pid = space.pid(), .uid = space.uid(), .arg0 = p.zram_bytes});
       zram_.Drop(&p);
       SyncZramFrames();
+      if (swap_gov_.enabled()) {
+        swap_gov_.OnRefault(&p);
+        p.set_zram_dense(false);
+      }
       ++*ct_.zram_loads;
       RecordRefaultStats(space, p, foreground);
       shadow_.RecordRefault(&p, space, engine_.now(), foreground);
@@ -183,6 +202,11 @@ AccessOutcome MemoryManager::Access(AddressSpace& space, uint32_t vpn, bool writ
       // before the I/O completes — so the event fires here.
       RecordRefaultStats(space, p, foreground);
       shadow_.RecordRefault(&p, space, engine_.now(), foreground);
+      if (swap_gov_.enabled() && IsAnon(p.kind())) {
+        // An anon page only reaches flash via zram writeback; refaulting it
+        // is exactly the re-reference evidence the hotness counter tracks.
+        swap_gov_.OnRefault(&p);
+      }
       p.set_state(PageState::kFaultingIn);
 
       // The entry itself is created even without a waker: faults_in_flight()
@@ -218,6 +242,9 @@ AccessOutcome MemoryManager::Access(AddressSpace& space, uint32_t vpn, bool writ
         ++*ct_.page_faults;
         RecordRefaultStats(space, np, foreground);
         shadow_.RecordRefault(&np, space, engine_.now(), foreground);
+        if (swap_gov_.enabled() && IsAnon(np.kind())) {
+          swap_gov_.OnRefault(&np);
+        }
         TakeFrame(space, outcome);
         np.set_state(PageState::kFaultingIn);
         ++batch_pages;
@@ -378,6 +405,9 @@ void MemoryManager::SaveTo(BinaryWriter& w) const {
   contention_rng_.SaveTo(w);
   zram_.SaveTo(w);
   shadow_.SaveTo(w);
+  w.Bool(has_zram_reject_);
+  w.U64(last_zram_reject_time_);
+  swap_gov_.SaveTo(w);
   w.U64(spaces_.size());
   for (const AddressSpace* space : spaces_) {
     space->SaveTo(w);
@@ -401,12 +431,43 @@ void MemoryManager::RestoreFrom(BinaryReader& r) {
   contention_rng_.RestoreFrom(r);
   zram_.RestoreFrom(r);
   shadow_.RestoreFrom(r);
+  has_zram_reject_ = r.Bool();
+  last_zram_reject_time_ = r.U64();
+  swap_gov_.RestoreFrom(r);
   uint64_t count = r.U64();
   ICE_CHECK_EQ(count, spaces_.size())
       << "structural replay diverged: registered space count differs";
   for (AddressSpace* space : spaces_) {
     space->RestoreFrom(r);
   }
+}
+
+AddressSpace* MemoryManager::FindSpaceById(uint32_t space_id) const {
+  for (AddressSpace* space : spaces_) {
+    if (space->space_id() == space_id) {
+      return space;
+    }
+  }
+  return nullptr;
+}
+
+double MemoryManager::SwapPressure() const {
+  if (!swap_gov_.enabled()) {
+    return 0.0;
+  }
+  if (has_zram_reject_ &&
+      engine_.now() - last_zram_reject_time_ <= config_.swap.reject_pressure_window) {
+    return 1.0;
+  }
+  // Between rejects the signal ramps with how far utilization has pushed
+  // past the writeback threshold — the pool is compressing, but poorly
+  // enough that writeback cannot keep it comfortable.
+  const double lo = config_.swap.writeback_util;
+  const double util = zram_.utilization();
+  if (util <= lo || lo >= 1.0) {
+    return 0.0;
+  }
+  return std::min(1.0, (util - lo) / (1.0 - lo));
 }
 
 bool MemoryManager::KswapdShouldRun() const {

@@ -27,6 +27,7 @@
 #include "src/mem/zram.h"
 #include "src/sim/engine.h"
 #include "src/storage/block_device.h"
+#include "src/swap/governor.h"
 
 namespace ice {
 
@@ -43,6 +44,9 @@ struct MemConfig {
   PageCount os_reserved_pages = BytesToPages(1200 * kMiB);
   Watermarks wm = Watermarks::FromHigh(BytesToPages(256 * kMiB));
   ZramConfig zram;
+  // Swap-out policy (src/swap/swap_policy.h): baseline admit-everything or
+  // the Ariadne-style hotness-aware, size-adaptive policy.
+  SwapConfig swap;
 
   // Reclaim cost model (per page unless noted), calibrated to a mobile
   // little-core kswapd: ~70-80 MB/s sustained reclaim throughput. Slower
@@ -170,7 +174,14 @@ class MemoryManager {
 
   ShadowRegistry& shadow() { return shadow_; }
   Zram& zram() { return zram_; }
+  const SwapGovernor& swap_governor() const { return swap_gov_; }
   Engine& engine() { return engine_; }
+
+  // SWAM-style swap/LMK coordination signal in [0, 1]: how close the
+  // compressed pool is to being unable to absorb further anon reclaim.
+  // Pinned at 1.0 for a window after a capacity reject; 0.0 under the
+  // baseline policy (which predates the signal).
+  double SwapPressure() const;
   // All registered address spaces (the "memcg" set reclaim iterates).
   const std::vector<AddressSpace*>& spaces() const { return spaces_; }
   // Page-metadata arena accounting across registered spaces: the arenas are
@@ -204,10 +215,21 @@ class MemoryManager {
   // evicts up to `target` pages. Shared by kswapd and direct reclaim.
   ReclaimResult ReclaimBatch(PageCount target, bool direct);
 
+  // Why one isolated page could not (or could) be evicted. Only kZramFull
+  // means the pool has hard-stopped; a hotness rejection is a policy choice
+  // and anon planning continues.
+  enum class EvictOutcome : uint8_t { kEvicted, kZramFull, kRejectedHot };
+
   // Evicts one isolated page of `space`, attributing it to kswapd or direct
-  // reclaim. Returns false when it could not be evicted (zram full) — the
-  // page is put back on the LRU.
-  bool EvictPage(AddressSpace& space, PageInfo* page, ReclaimResult& result, bool direct);
+  // reclaim. On a non-kEvicted outcome the page is put back on the LRU.
+  EvictOutcome EvictPage(AddressSpace& space, PageInfo* page, ReclaimResult& result,
+                         bool direct);
+
+  // Hotness policy only: drains up to `max_pages` FIFO-oldest compressed
+  // pages to flash (one coalesced write bio) so the pool self-cleans.
+  // Returns the number written back.
+  PageCount ZramWritebackBatch(PageCount max_pages);
+  AddressSpace* FindSpaceById(uint32_t space_id) const;
 
   void MakePresent(AddressSpace& space, PageInfo* page);
   void RecordRefaultStats(AddressSpace& space, const PageInfo& page, bool foreground);
@@ -245,6 +267,11 @@ class MemoryManager {
     uint64_t* pages_reclaimed_file;
     uint64_t* pages_reclaimed_file_kswapd;
     uint64_t* pages_reclaimed_file_direct;
+    uint64_t* zram_rejects;
+    uint64_t* swap_rejects_hot;
+    uint64_t* swap_writeback_pages;
+    uint64_t* swap_stores_fast;
+    uint64_t* swap_stores_dense;
   };
 
   Engine& engine_;
@@ -264,6 +291,10 @@ class MemoryManager {
   Zram zram_;
   PageCount zram_frames_held_ = 0;
   ShadowRegistry shadow_;
+  SwapGovernor swap_gov_;
+  // Last capacity reject, feeding SwapPressure()'s pinned window.
+  SimTime last_zram_reject_time_ = 0;
+  bool has_zram_reject_ = false;
 
   int64_t free_pages_ = 0;
   Uid foreground_uid_ = kInvalidUid;

@@ -13,7 +13,8 @@
 //                                global eviction sequence overflows 32 bits
 //                                on long sweeps)
 //   bits                2 bytes  state:3 | kind:2 | dirty | referenced |
-//                                active | linked | generation:3
+//                                active | linked | generation:3 |
+//                                hotness:3 | zram_dense
 //
 // The owner back-pointer was removed: every hot path already knows the
 // AddressSpace it is operating on, so call sites pass it explicitly and the
@@ -143,6 +144,24 @@ struct alignas(32) PageInfo {
                                   (static_cast<uint16_t>(gen & kGenMask) << kGenShift));
   }
 
+  // Decayed re-reference counter under the hotness swap policy (SwapPolicy::
+  // kHotness): anon refaults boost it (saturating at 7), zram admission
+  // halves it. Gates zram admission and picks the compression tier. Unused
+  // (stays 0) under the baseline swap policy.
+  uint8_t hotness() const {
+    return static_cast<uint8_t>((bits_ >> kHotShift) & kHotMask);
+  }
+  void set_hotness(uint8_t h) {
+    bits_ = static_cast<uint16_t>((bits_ & ~(kHotMask << kHotShift)) |
+                                  (static_cast<uint16_t>(h & kHotMask) << kHotShift));
+  }
+
+  // Which compression tier the page's zram copy used (valid only while
+  // kInZram): set = dense codec, clear = fast codec. Decides the decompress
+  // cost charged on refault. Always clear under the baseline swap policy.
+  bool zram_dense() const { return bits_ & kDenseBit; }
+  void set_zram_dense(bool v) { SetBit(kDenseBit, v); }
+
  private:
   static constexpr uint16_t kStateMask = 0x7;
   static constexpr uint16_t kKindShift = 3;
@@ -152,7 +171,10 @@ struct alignas(32) PageInfo {
   static constexpr uint16_t kActiveBit = 1u << 7;
   static constexpr uint16_t kLinkedBit = 1u << 8;
   static constexpr uint16_t kGenShift = 9;
-  static constexpr uint16_t kGenMask = 0x7;  // Bits 9-11; 12-15 still free.
+  static constexpr uint16_t kGenMask = 0x7;   // Bits 9-11.
+  static constexpr uint16_t kHotShift = 12;
+  static constexpr uint16_t kHotMask = 0x7;   // Bits 12-14.
+  static constexpr uint16_t kDenseBit = 1u << 15;  // Flag word is now full.
 
   void SetBit(uint16_t bit, bool v) {
     bits_ = static_cast<uint16_t>(v ? (bits_ | bit) : (bits_ & ~bit));

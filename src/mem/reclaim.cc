@@ -45,6 +45,14 @@ ReclaimResult MemoryManager::ReclaimBatch(PageCount target, bool direct) {
   }
 
   bool anon_ok = zram_.HasRoom();
+  if (swap_gov_.enabled() &&
+      (!anon_ok || zram_.utilization() >= config_.swap.writeback_util)) {
+    // Self-clean before planning: drain FIFO-oldest compressed pages to
+    // flash so this batch's anon share has room to land.
+    PageCount written = ZramWritebackBatch(config_.swap.writeback_batch);
+    result.cpu_us += written * config_.writeback_submit_cost;
+    anon_ok = zram_.HasRoom();
+  }
   size_t n = spaces_.size();
   size_t spaces_scanned = 0;
   // Rotate the starting space so rounding leftovers spread fairly.
@@ -101,14 +109,20 @@ ReclaimResult MemoryManager::ReclaimBatch(PageCount target, bool direct) {
           lru.PutBackInactive(page);
           continue;
         }
-        if (!EvictPage(*space, page, result, direct) && IsAnon(page->kind())) {
+        if (EvictPage(*space, page, result, direct) == EvictOutcome::kZramFull) {
           store_failed = true;
         }
       }
       if (store_failed) {
-        // ZRAM filled up mid-batch: re-check instead of trusting the value
-        // computed before the space loop, so later spaces stop planning anon
-        // shares and churning isolate/put-back on unstorable pages.
+        // ZRAM filled up mid-batch: give writeback (hotness policy only) a
+        // chance to reopen the pool, then re-check instead of trusting the
+        // value computed before the space loop, so later spaces stop
+        // planning anon shares and churning isolate/put-back on unstorable
+        // pages.
+        if (swap_gov_.enabled()) {
+          PageCount written = ZramWritebackBatch(config_.swap.writeback_batch);
+          result.cpu_us += written * config_.writeback_submit_cost;
+        }
         anon_ok = zram_.HasRoom();
       }
     }
@@ -136,18 +150,57 @@ ReclaimResult MemoryManager::ReclaimBatch(PageCount target, bool direct) {
   return result;
 }
 
-bool MemoryManager::EvictPage(AddressSpace& space, PageInfo* page, ReclaimResult& result,
-                              bool direct) {
+MemoryManager::EvictOutcome MemoryManager::EvictPage(AddressSpace& space, PageInfo* page,
+                                                     ReclaimResult& result, bool direct) {
   ICE_CHECK(page->state() == PageState::kPresent);
 
   if (IsAnon(page->kind())) {
-    if (!zram_.Store(page)) {
-      // ZRAM full: the page cannot be evicted; give it back.
+    if (swap_gov_.ShouldReject(*page)) {
+      // Warm page: the admission gate keeps it resident rather than
+      // round-tripping it through a compression it would immediately undo.
+      // It also cools by one step, so sustained scan pressure eventually
+      // wins over a page that stops refaulting.
       space.lru().PutBackInactive(page);
-      return false;
+      swap_gov_.OnRejected(page);
+      ++*ct_.swap_rejects_hot;
+      ICE_TRACE(engine_, TraceEventType::kZramReject,
+                {.uid = space.uid(),
+                 .flags = kTraceFlagHot | (direct ? kTraceFlagDirect : 0),
+                 .arg0 = page->vpn});
+      return EvictOutcome::kRejectedHot;
+    }
+    SimDuration compress_cost = zram_.compress_cost();
+    bool dense = false;
+    bool stored;
+    if (swap_gov_.enabled()) {
+      dense = swap_gov_.UseDenseTier(*page);
+      const ZramTierProfile& tier = swap_gov_.TierFor(dense);
+      stored = zram_.StoreWithRatio(page, tier.mean_ratio, tier.ratio_sigma);
+      compress_cost = tier.compress_us;
+    } else {
+      stored = zram_.Store(page);
+    }
+    if (!stored) {
+      // ZRAM full: the page cannot be evicted; give it back. The reject is
+      // visible — counter, trace event, and the SwapPressure() window the
+      // LMK reads — instead of silently stopping anon planning.
+      space.lru().PutBackInactive(page);
+      ++*ct_.zram_rejects;
+      last_zram_reject_time_ = engine_.now();
+      has_zram_reject_ = true;
+      ICE_TRACE(engine_, TraceEventType::kZramReject,
+                {.uid = space.uid(),
+                 .flags = direct ? kTraceFlagDirect : 0,
+                 .arg0 = page->vpn});
+      return EvictOutcome::kZramFull;
     }
     page->set_state(PageState::kInZram);
-    result.cpu_us += zram_.compress_cost() + config_.unmap_cost;
+    if (swap_gov_.enabled()) {
+      page->set_zram_dense(dense);
+      ++*(dense ? ct_.swap_stores_dense : ct_.swap_stores_fast);
+      swap_gov_.OnStored(page, space.handle_of(page->vpn).packed);
+    }
+    result.cpu_us += compress_cost + config_.unmap_cost;
     ++*ct_.zram_stores;
     ++*ct_.pages_reclaimed_anon;
     ++*(direct ? ct_.pages_reclaimed_anon_direct : ct_.pages_reclaimed_anon_kswapd);
@@ -184,7 +237,45 @@ bool MemoryManager::EvictPage(AddressSpace& space, PageInfo* page, ReclaimResult
              .flags = (IsAnon(page->kind()) ? kTraceFlagAnon : 0) |
                       (direct ? kTraceFlagDirect : 0),
              .arg0 = page->vpn});
-  return true;
+  return EvictOutcome::kEvicted;
+}
+
+PageCount MemoryManager::ZramWritebackBatch(PageCount max_pages) {
+  PageCount written = 0;
+  uint64_t handle = 0;
+  while (written < max_pages && swap_gov_.PopWritebackCandidate(&handle)) {
+    PageHandle h;
+    h.packed = handle;
+    // Space ids are never reused, so a stale handle (refaulted page, dead
+    // process, or a duplicate FIFO entry from a re-stored page) can only
+    // miss; misses are skipped without consuming the page budget.
+    AddressSpace* space = FindSpaceById(h.space_id());
+    if (space == nullptr) {
+      continue;
+    }
+    PageInfo& page = space->page(h.vpn());
+    if (page.state() != PageState::kInZram) {
+      continue;
+    }
+    zram_.Drop(&page);
+    page.set_zram_dense(false);
+    page.set_state(PageState::kOnFlash);
+    ++written;
+  }
+  if (written == 0) {
+    return 0;
+  }
+  *ct_.swap_writeback_pages += written;
+  SyncZramFrames();
+  ICE_TRACE(engine_, TraceEventType::kZramWriteback, {.arg0 = written});
+  if (storage_ != nullptr) {
+    Bio bio;
+    bio.dir = IoDir::kWrite;
+    bio.pages = written;
+    bio.foreground = false;
+    storage_->Submit(bio);
+  }
+  return written;
 }
 
 void MemoryManager::FlushWritebackBatch() {
@@ -212,8 +303,9 @@ ReclaimResult MemoryManager::ReclaimAllOf(AddressSpace& space) {
     space.lru().Remove(&page);
     // Per-process reclaim runs in a daemon context, not an allocating task's:
     // attribute to the non-direct (kswapd-side) buckets.
-    if (!EvictPage(space, &page, result, /*direct=*/false)) {
-      // Put back happened inside EvictPage (zram full); nothing more to do.
+    if (EvictPage(space, &page, result, /*direct=*/false) != EvictOutcome::kEvicted) {
+      // Put back happened inside EvictPage (zram full or hotness-rejected);
+      // nothing more to do.
       continue;
     }
   }

@@ -15,9 +15,13 @@ bool Zram::HasRoom() const {
 }
 
 bool Zram::Store(PageInfo* page) {
+  return StoreWithRatio(page, config_.mean_ratio, config_.ratio_sigma);
+}
+
+bool Zram::StoreWithRatio(PageInfo* page, double mean_ratio, double ratio_sigma) {
   ICE_CHECK(page != nullptr);
   ICE_CHECK(IsAnon(page->kind())) << "only anonymous pages swap to zram";
-  double ratio = std::max(1.05, rng_.LogNormal(config_.mean_ratio, config_.ratio_sigma));
+  double ratio = std::max(1.05, rng_.LogNormal(mean_ratio, ratio_sigma));
   uint32_t compressed = static_cast<uint32_t>(kPageSize / ratio);
   if (stored_bytes_ + compressed > config_.capacity_bytes) {
     return false;

@@ -41,6 +41,11 @@ class Zram {
   // when the device is full. On success, sets page->zram_bytes.
   bool Store(PageInfo* page);
 
+  // Tiered store for the hotness swap policy: same single RNG draw per call
+  // as Store() — only the log-normal parameters differ — so enabling tiers
+  // never shifts the compression-ratio stream's position.
+  bool StoreWithRatio(PageInfo* page, double mean_ratio, double ratio_sigma);
+
   // Removes `page`'s compressed copy (fault-in or owner exit).
   void Drop(PageInfo* page);
 

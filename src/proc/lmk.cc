@@ -34,13 +34,18 @@ void Lmk::Tick(SimTime now) {
   //    reclaimable file cache left;
   //  * the minfree ladder: MemAvailable below the cached-app threshold;
   //  * the zram wall: swap exhausted while the zone is under its low
-  //    watermark (anonymous memory can no longer be reclaimed at all).
+  //    watermark (anonymous memory can no longer be reclaimed at all);
+  //  * the SWAM-style swap signal: the hotness swap policy reports the pool
+  //    can no longer absorb anon reclaim (recent capacity reject), so swap
+  //    and the killer coordinate instead of racing. Always 0.0 under the
+  //    baseline policy, which keeps pre-existing runs bit-for-bit.
   bool direct_pressure =
       free <= mm_.watermarks().min && mm_.available_pages() < mm_.watermarks().low;
   bool minfree_hit = minfree_pages_ > 0 && mm_.available_pages() < minfree_pages_;
   bool zram_wall = !mm_.zram().HasRoom() && free < mm_.watermarks().low;
   bool psi_hit = psi_threshold_ > 0.0 && refault_rate_ewma_ > psi_threshold_;
-  if (direct_pressure || minfree_hit || zram_wall || psi_hit) {
+  bool swap_hit = mm_.SwapPressure() >= 1.0 && free < mm_.watermarks().low;
+  if (direct_pressure || minfree_hit || zram_wall || psi_hit || swap_hit) {
     KillOne();
   }
 }

@@ -209,6 +209,16 @@ std::string ChromeTraceJson(const Tracer& tracer) {
                                                        : "frame_deadline_miss",
                     I("frame", e.arg0) + ", " + I("latency_us", e.arg1));
         break;
+      case TraceEventType::kZramReject:
+        out.Instant(kPidMem, kTidMemEvents, e.ts,
+                    (e.flags & kTraceFlagHot) != 0 ? "zram_reject_hot"
+                                                   : "zram_reject_full",
+                    I("uid", int64_t{e.uid}) + ", " + I("vpn", e.arg0));
+        break;
+      case TraceEventType::kZramWriteback:
+        out.Instant(kPidMem, kTidMemEvents, e.ts, "zram_writeback",
+                    I("pages", e.arg0));
+        break;
     }
   }
   // Close slices still open at trace end so they render.

@@ -20,10 +20,19 @@ std::string TraceSummaryJson(const TraceSummary& summary) {
   std::ostringstream out;
   out << "{\"emitted\": " << summary.emitted << ", \"dropped\": " << summary.dropped
       << ", \"retained\": " << summary.retained << ", \"counts\": {";
+  // The first 16 types predate this rule and are always present; types added
+  // since appear only once observed, so traces from runs that never emit them
+  // stay byte-identical to reports written before the type existed.
+  constexpr size_t kAlwaysEmitted = 16;
+  bool first = true;
   for (size_t i = 0; i < kTraceEventTypeCount; ++i) {
-    if (i > 0) {
+    if (i >= kAlwaysEmitted && summary.counts[i] == 0) {
+      continue;
+    }
+    if (!first) {
       out << ", ";
     }
+    first = false;
     out << "\"" << TraceEventTypeName(static_cast<TraceEventType>(i))
         << "\": " << summary.counts[i];
   }

@@ -35,9 +35,12 @@ enum class TraceEventType : uint8_t {
   kFrameEnd,            // arg0 = frame sequence, arg1 = latency us.
   kFrameDeadlineMiss,   // flags: dropped (vsync with no frame issued);
                         // arg0 = frame sequence, arg1 = latency us (0 if dropped).
+  kZramReject,          // uid = owner; flags: hot (admission gate) or none
+                        // (pool full); arg0 = vpn.
+  kZramWriteback,       // arg0 = pages drained from zram to flash.
 };
 
-inline constexpr size_t kTraceEventTypeCount = 16;
+inline constexpr size_t kTraceEventTypeCount = 18;
 
 // Event flag bits. Meaning is per-type (documented above) but bits are
 // globally unique so exporters can decode without a type switch.
@@ -46,6 +49,7 @@ inline constexpr int kTraceFlagDirect = 1 << 1;
 inline constexpr int kTraceFlagAnon = 1 << 2;
 inline constexpr int kTraceFlagWrite = 1 << 3;
 inline constexpr int kTraceFlagDropped = 1 << 4;
+inline constexpr int kTraceFlagHot = 1 << 5;
 
 // Stable lower_snake_case names, used by both exporters and by tests.
 const char* TraceEventTypeName(TraceEventType type);

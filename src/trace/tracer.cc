@@ -89,6 +89,10 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "frame_end";
     case TraceEventType::kFrameDeadlineMiss:
       return "frame_deadline_miss";
+    case TraceEventType::kZramReject:
+      return "zram_reject";
+    case TraceEventType::kZramWriteback:
+      return "zram_writeback";
   }
   return "unknown";
 }
