@@ -57,6 +57,7 @@ struct CliOptions {
   int jobs = 0;  // 0 = ICE_JOBS env or hardware concurrency.
   std::string out = "cli_sweep";
   bool share_prefix = true;
+  bool fleet_templates = true;
   std::string snapshot_path;  // Save a post-caching snapshot here.
   std::string restore_path;   // Start from a saved snapshot instead of caching.
   bool trace = false;
@@ -115,6 +116,10 @@ void PrintHelp() {
       "  --chunk=N                devices per work chunk (default: auto from N;\n"
       "                           part of the determinism contract — output is\n"
       "                           byte-identical for any --jobs at fixed chunk)\n"
+      "  --fleet-templates=on|off warm-boot templates: fork each device from a\n"
+      "                           per-group post-boot snapshot with per-worker\n"
+      "                           sim recycling instead of cold-constructing it\n"
+      "                           (default on; results byte-identical)\n"
       "  --jobs/--scheme/--seed/--out as in sweep mode; report:\n"
       "                           results/FLEET_NAME.json\n");
 }
@@ -276,6 +281,7 @@ int RunFleet(const CliOptions& opts) {
   config.chunk = opts.chunk;
   config.seed = std::strtoull(opts.seed.c_str(), nullptr, 10);
   config.sessions = opts.sessions;
+  config.use_templates = opts.fleet_templates;
   CheckAgingName(opts.aging);
   config.aging = opts.aging;
   CheckSwapName(opts.swap);
@@ -303,9 +309,10 @@ int RunFleet(const CliOptions& opts) {
   }
 
   FleetRunner runner(config);
-  std::printf("icesim fleet: %llu devices, %zu groups, chunk=%u, %d workers\n",
+  std::printf("icesim fleet: %llu devices, %zu groups, chunk=%u, %d workers%s\n",
               static_cast<unsigned long long>(runner.config().devices),
-              runner.num_groups(), runner.chunk_size(), runner.config().jobs);
+              runner.num_groups(), runner.chunk_size(), runner.config().jobs,
+              runner.config().use_templates ? ", warm-boot templates" : "");
   FleetResult result = runner.Run();
 
   Table table({"tier", "scheme", "devices", "fps p50", "RIA p50", "lat p99 ms",
@@ -389,6 +396,16 @@ int main(int argc, char** argv) {
         opts.share_prefix = false;
       } else {
         std::fprintf(stderr, "--share-prefix takes 'on' or 'off', got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+    } else if (ParseArg(argv[i], "--fleet-templates", &value)) {
+      if (value == "on") {
+        opts.fleet_templates = true;
+      } else if (value == "off") {
+        opts.fleet_templates = false;
+      } else {
+        std::fprintf(stderr, "--fleet-templates takes 'on' or 'off', got '%s'\n",
                      value.c_str());
         return 2;
       }

@@ -113,12 +113,25 @@ void BinaryWriter::EndSection() {
 }
 
 std::vector<uint8_t> BinaryWriter::Finish() {
+  FinishInPlace();
+  return std::move(buf_);
+}
+
+const std::vector<uint8_t>& BinaryWriter::FinishInPlace() {
   ICE_CHECK(open_.empty()) << "Finish with an open section";
   ICE_CHECK(!finished_);
   finished_ = true;
   U32(0);  // End marker.
   U64(SnapshotChecksum64(buf_.data(), buf_.size()));
-  return std::move(buf_);
+  return buf_;
+}
+
+void BinaryWriter::Clear() {
+  buf_.clear();  // Keeps capacity.
+  open_.clear();
+  finished_ = false;
+  buf_.insert(buf_.end(), kSnapshotMagic, kSnapshotMagic + sizeof(kSnapshotMagic));
+  U32(kSnapshotFormatVersion);
 }
 
 BinaryReader::BinaryReader(const uint8_t* data, size_t size, bool verify_checksum)

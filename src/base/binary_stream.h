@@ -23,7 +23,9 @@
 namespace ice {
 
 inline constexpr char kSnapshotMagic[8] = {'I', 'C', 'E', 'S', 'N', 'A', 'P', '1'};
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+// Version history: 1 = initial format; 2 = Engine serializes the auxiliary
+// noise RNG stream after the seeded one.
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
 
 class BinaryWriter {
  public:
@@ -50,10 +52,29 @@ class BinaryWriter {
   void Reserve(size_t total) { buf_.reserve(buf_.size() + total); }
 
   // Writes the end marker and the trailing checksum, then returns the
-  // completed buffer. The writer is spent afterwards.
+  // completed buffer. The writer is spent afterwards (until Clear()).
   std::vector<uint8_t> Finish();
 
+  // Rewinds to a fresh stream (magic + version re-written) while keeping the
+  // buffer's capacity, so a worker that snapshots repeatedly pays the
+  // multi-megabyte growth sequence once instead of per save. Pair with
+  // FinishInPlace(), which — unlike Finish() — does not move the buffer (and
+  // its capacity) out of the writer.
+  void Clear();
+
   size_t size() const { return buf_.size(); }
+  size_t capacity() const { return buf_.capacity(); }
+
+  // Read-only view of the raw stream built so far (without end marker or
+  // checksum until Finish runs).
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+
+  // Like Finish(), but completes the stream in place (end marker + checksum)
+  // and leaves the bytes in the writer's own buffer, returning a view. The
+  // caller copies or reads what it needs, then Clear() re-arms the writer
+  // with its capacity intact — the reuse path Finish()'s move-out can't
+  // offer.
+  const std::vector<uint8_t>& FinishInPlace();
 
  private:
   std::vector<uint8_t> buf_;

@@ -27,6 +27,18 @@ constexpr uint32_t kSectionFreezer = 7;
 constexpr uint32_t kSectionLmk = 8;
 constexpr uint32_t kSectionScheme = 9;
 constexpr uint32_t kSectionTrace = 10;
+
+// Fingerprint with the " seed=<n>" token removed, for the seed-agnostic
+// comparison RestoreTemplate needs (a warm-boot template is valid for any
+// seed of its group: boot consumes no device-seed draws).
+std::string StripSeedToken(const std::string& fp) {
+  size_t pos = fp.find(" seed=");
+  if (pos == std::string::npos) {
+    return fp;
+  }
+  size_t end = fp.find(' ', pos + 1);
+  return fp.substr(0, pos) + (end == std::string::npos ? "" : fp.substr(end));
+}
 }  // namespace
 
 Experiment::Experiment(const ExperimentConfig& config) : Experiment(config, nullptr) {}
@@ -67,9 +79,11 @@ Experiment::Experiment(const ExperimentConfig& config,
   lmk_->set_minfree_pages(BytesToPages(110 * kMiB));
   lmk_->set_psi_refaults_per_sec(9000.0);
 
-  // Install the catalog.
+  // Install the catalog. Drawn from the noise stream: boot must consume
+  // zero device-seed draws so a post-boot template is seed-independent
+  // (the catalog is identical across devices of a fleet group anyway).
   if (config_.extended_catalog) {
-    Rng catalog_rng = engine_->rng().Fork();
+    Rng catalog_rng = engine_->noise_rng().Fork();
     catalog_ = ExtendedCatalog(catalog_rng, config_.tuning);
   } else {
     catalog_ = DefaultCatalog(config_.tuning);
@@ -103,6 +117,10 @@ Experiment::Experiment(const ExperimentConfig& config,
   refs.am = am_.get();
   refs.storage = storage_.get();
   scheme_->Install(refs);
+
+  // Everything alive now (kswapd + services) is the boot prefix recycling
+  // truncates back to; app tasks are only created later.
+  boot_task_count_ = scheduler_->task_count();
 
   if (snapshot == nullptr) {
     // Let the base system settle (services reach steady state).
@@ -286,12 +304,18 @@ std::string ConfigFingerprint(const ExperimentConfig& c) {
 std::string Experiment::Fingerprint() const { return ConfigFingerprint(config_); }
 
 std::vector<uint8_t> Experiment::SaveSnapshot() const {
-  ICE_CHECK(QuiescentNow()) << "snapshot requires a quiescent tick boundary";
   BinaryWriter w;
+  SaveSnapshotInto(w);
+  return w.Finish();
+}
+
+void Experiment::SaveSnapshotInto(BinaryWriter& w) const {
+  ICE_CHECK(QuiescentNow()) << "snapshot requires a quiescent tick boundary";
   // The stream is dominated by the page-arena dumps; growing a vector to
   // tens of megabytes by doubling would copy the whole payload again, so
   // size it up front (an eighth of slack plus 4 MiB covers every other
-  // section, including a full trace ring).
+  // section, including a full trace ring). On a reused writer whose buffer
+  // already reached this size, Reserve is a no-op.
   w.Reserve(mm_->arena_bytes_live() + mm_->arena_bytes_live() / 8 + (4u << 20));
   w.BeginSection(kSectionMeta);
   w.Str(Fingerprint());
@@ -326,7 +350,6 @@ std::vector<uint8_t> Experiment::SaveSnapshot() const {
     tracer_->SaveTo(w);
   }
   w.EndSection();
-  return w.Finish();
 }
 
 void Experiment::SaveSnapshotToFile(const std::string& path) const {
@@ -340,14 +363,17 @@ void Experiment::SaveSnapshotToFile(const std::string& path) const {
 }
 
 void Experiment::RestoreFromBytes(const std::vector<uint8_t>& snapshot,
-                                  bool verify_checksum) {
+                                  bool verify_checksum, bool seed_agnostic) {
   BinaryReader r(snapshot, verify_checksum);
   r.ExpectSection(kSectionMeta);
   std::string fp = r.Str();
   r.EndSection();
-  if (fp != Fingerprint()) {
+  std::string expected = Fingerprint();
+  bool match = seed_agnostic ? StripSeedToken(fp) == StripSeedToken(expected)
+                             : fp == expected;
+  if (!match) {
     throw std::runtime_error("snapshot: config fingerprint mismatch\n  snapshot: " +
-                             fp + "\n  config:   " + Fingerprint());
+                             fp + "\n  config:   " + expected);
   }
   // Cancel everything Install() armed; the wheel must be empty before the
   // engine restore so the saved event sequence replays exactly.
@@ -387,6 +413,39 @@ void Experiment::RestoreFromBytes(const std::vector<uint8_t>& snapshot,
   }
   r.EndSection();
   r.ExpectEnd();
+}
+
+void Experiment::ResetForRecycle() {
+  // Ordering contract:
+  //  1. Choreographer first — it stops the vsync clock (the trace runner
+  //     starts it but never stops it) while its event handle is still valid.
+  //  2. Kill every app while the wheel is live (KillApp cancels task timers,
+  //     releases spaces back to the MM, drains their pending faults, drops
+  //     their zram residency, and parks the processes in the graveyard).
+  //  3. Clear the wheel. Boot tasks keep stale timer handles; the generation
+  //     bump makes them resolve to nothing, and Task::RestoreFrom re-arms.
+  //  4. Destroy the dead post-boot tasks and rewind the task-id sequence.
+  //     Must precede graveyard teardown: tasks hold Process* backpointers.
+  //  5. Drop the graveyard and rewind the lifecycle history / pid sequence.
+  //  6/7. Rewind the memory manager's and block device's scalar state.
+  choreographer_->ResetForRecycle();
+  am_->KillAllForRecycle();
+  engine_->ResetForRecycle();
+  scheduler_->ResetForRecycle(boot_task_count_);
+  am_->ResetForRecycle();
+  mm_->ResetForRecycle();
+  storage_->ResetForRecycle();
+}
+
+void Experiment::RestoreTemplate(const std::vector<uint8_t>& snapshot,
+                                 uint64_t new_seed) {
+  ResetForRecycle();
+  config_.seed = new_seed;
+  RestoreFromBytes(snapshot, /*verify_checksum=*/false, /*seed_agnostic=*/true);
+  // The snapshot carries the donor's trace stream; give this device its own.
+  // The noise stream stays as restored — cold and templated runs then consume
+  // identical noise draws from the template point on.
+  engine_->rng() = Rng(new_seed);
 }
 
 std::unique_ptr<Experiment> Experiment::RestoreSnapshot(

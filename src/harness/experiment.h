@@ -177,6 +177,11 @@ class Experiment {
 
   // Serializes the full state (aborts if !QuiescentNow()).
   std::vector<uint8_t> SaveSnapshot() const;
+  // Same, into a caller-owned writer: repeated saves in one worker reuse the
+  // writer's buffer (Clear() keeps capacity) instead of growing a fresh
+  // vector to tens of megabytes each time. The caller calls Finish()/
+  // FinishInPlace() when done.
+  void SaveSnapshotInto(BinaryWriter& w) const;
   void SaveSnapshotToFile(const std::string& path) const;
 
   // Builds an Experiment from `config` and restores `snapshot` into it.
@@ -189,6 +194,25 @@ class Experiment {
       bool verify_checksum = true);
   static std::unique_ptr<Experiment> RestoreSnapshotFromFile(
       const ExperimentConfig& config, const std::string& path);
+
+  // ---- Warm-boot templates (instance recycling) -----------------------
+  //
+  // RestoreTemplate rewinds this *live* Experiment back to the snapshot
+  // instead of constructing a fresh one: every running app is killed with
+  // listeners suppressed, the event wheel / scheduler / activity manager /
+  // memory manager / block device are reset to their post-construction
+  // shape (keeping their allocations — timing-wheel node pool, task
+  // scratch, arena pools, writer capacity), and the snapshot is overlaid
+  // via the normal restore path. The trace RNG is then reseeded from
+  // `new_seed` and config().seed updated, so the recycled instance is
+  // indistinguishable from a cold Experiment(config with seed=new_seed)
+  // restored from the same template: boot consumes zero draws from the
+  // device-seed stream (they all come from Engine::noise_rng()), so the
+  // snapshot is seed-independent apart from the fingerprint text. The
+  // fingerprint check is therefore seed-agnostic on this path; every other
+  // config field must still match exactly. The checksum scan is skipped —
+  // templates never leave the process.
+  void RestoreTemplate(const std::vector<uint8_t>& snapshot, uint64_t new_seed);
 
   // Launches the scenario's own app in the foreground and runs the scenario
   // for `warmup + duration`, measuring only over the final `duration` — the
@@ -208,7 +232,15 @@ class Experiment {
   Experiment(const ExperimentConfig& config, const std::vector<uint8_t>* snapshot,
              bool verify_checksum = true);
 
-  void RestoreFromBytes(const std::vector<uint8_t>& snapshot, bool verify_checksum);
+  // `seed_agnostic` compares fingerprints with the seed token stripped
+  // (RestoreTemplate overlays a donor snapshot onto a different seed).
+  void RestoreFromBytes(const std::vector<uint8_t>& snapshot, bool verify_checksum,
+                        bool seed_agnostic = false);
+
+  // Teardown half of RestoreTemplate; see the member comment there for the
+  // ordering contract between the wheel clear, task destruction, and the
+  // process graveyard.
+  void ResetForRecycle();
 
   ExperimentConfig config_;
   std::unique_ptr<Engine> engine_;
@@ -224,6 +256,9 @@ class Experiment {
   std::unique_ptr<Scheme> scheme_;
   std::vector<CatalogApp> catalog_;
   std::vector<Uid> catalog_uids_;
+  // Tasks alive at the end of construction (kswapd + system services); the
+  // boundary ResetForRecycle truncates the scheduler's task vector back to.
+  size_t boot_task_count_ = 0;
 };
 
 }  // namespace ice

@@ -1,6 +1,8 @@
 #include "src/harness/sweep.h"
 
 #include <algorithm>
+
+#include "src/base/binary_stream.h"
 #include <cstdint>
 #include <cstdlib>
 #include <map>
@@ -126,6 +128,9 @@ void RunPrefixDonor(const std::vector<SweepCell>& cells,
     Uid fg = donor.UidOf(ScenarioPackage(proto.scenario));
     std::vector<Uid> pool = donor.PlanBackgroundPool({fg});
     int cached = 0;
+    // One writer for every boundary this donor saves: Clear() keeps the
+    // buffer, so only the first (smallest) snapshot pays for growth.
+    BinaryWriter writer;
     for (size_t m = 0; m < members.size(); ++m) {
       size_t idx = members[m];
       int bg = SweepRunner::NormalizedBg(cells[idx]);
@@ -139,7 +144,9 @@ void RunPrefixDonor(const std::vector<SweepCell>& cells,
         ++cached;
       }
       if (m + 1 < members.size()) {
-        snapshots[idx] = donor.SaveSnapshot();
+        writer.Clear();
+        donor.SaveSnapshotInto(writer);
+        snapshots[idx] = writer.FinishInPlace();
       } else {
         donor.FinishCaching();
         donor_results[idx] =

@@ -42,10 +42,12 @@ MemoryManager::MemoryManager(Engine& engine, const MemConfig& config, BlockDevic
       config_(config),
       storage_(storage),
       ct_(engine.stats()),
-      contention_rng_(engine.rng().Fork()),
-      // The governor holds no RNG on purpose: forking one here would shift
-      // the engine stream and break baseline byte-compat (see governor.h).
-      zram_(config.zram, engine.rng().Fork()),
+      // Contention jitter and zram compressibility are environment noise:
+      // they fork from the noise stream so construction consumes zero draws
+      // from the seeded stream (the warm-boot template contract). The
+      // governor holds no RNG on purpose (see governor.h).
+      contention_rng_(engine.noise_rng().Fork()),
+      zram_(config.zram, engine.noise_rng().Fork()),
       swap_gov_(config.swap) {
   ICE_CHECK_GT(config_.total_pages, config_.os_reserved_pages);
   free_pages_ = static_cast<int64_t>(config_.total_pages - config_.os_reserved_pages);
@@ -126,6 +128,24 @@ void MemoryManager::Release(AddressSpace& space) {
   space.AddResident(-static_cast<int64_t>(space.resident()));
   space.AddEvicted(-static_cast<int64_t>(space.evicted()));
   SyncZramFrames();
+}
+
+void MemoryManager::ResetForRecycle() {
+  ICE_CHECK(spaces_.empty()) << "recycle with address spaces still registered";
+  ICE_CHECK(pending_faults_.empty()) << "recycle with in-flight faults";
+  ICE_CHECK(!in_reclaim_);
+  ICE_CHECK_EQ(zram_.stored_bytes(), 0u) << "recycle with pages still in zram";
+  next_space_id_ = 0;
+  reclaim_cursor_ = 0;
+  zram_frames_held_ = 0;
+  last_zram_reject_time_ = 0;
+  has_zram_reject_ = false;
+  free_pages_ = static_cast<int64_t>(config_.total_pages - config_.os_reserved_pages);
+  foreground_uid_ = kInvalidUid;
+  arena_bytes_live_ = 0;
+  arena_bytes_peak_ = 0;
+  kswapd_woken_ = false;
+  writeback_pending_ = 0;
 }
 
 SimDuration MemoryManager::ContentionPenalty() {

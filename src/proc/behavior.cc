@@ -13,7 +13,12 @@ TaskContext::TaskContext(Task& task, Scheduler& scheduler, SimDuration budget)
     : task_(task), scheduler_(scheduler), budget_(budget) {}
 
 MemoryManager& TaskContext::mm() { return scheduler_.mm(); }
-Rng& TaskContext::rng() { return scheduler_.engine().rng(); }
+// Behavior randomness (service jitter, background activity, launch work) is
+// environment noise: it draws from the noise stream so the seeded stream is
+// untouched until the usage trace starts (the warm-boot template contract).
+// The noise RNG is serialized with the engine, so restored runs continue the
+// stream bit-exact.
+Rng& TaskContext::rng() { return scheduler_.engine().noise_rng(); }
 SimTime TaskContext::now() const { return scheduler_.engine().now(); }
 
 bool TaskContext::Compute(SimDuration us) {

@@ -8,7 +8,14 @@
 
 namespace ice {
 
-Engine::Engine(uint64_t seed) : rng_(seed) {}
+namespace {
+// Seed of the noise stream. A fixed constant, deliberately not derived from
+// the experiment seed: every boot draws the same environment noise, so the
+// seeded stream stays untouched until the workload starts consuming it.
+constexpr uint64_t kNoiseStreamSeed = 0x1cebeefc0ffee123ULL;
+}  // namespace
+
+Engine::Engine(uint64_t seed) : rng_(seed), noise_rng_(kNoiseStreamSeed) {}
 
 EventId Engine::ScheduleAt(SimTime when, EventFn fn) {
   ICE_CHECK_GE(when, now_) << "scheduling into the past";
@@ -32,6 +39,7 @@ void Engine::SaveTo(BinaryWriter& w) const {
   w.U64(ticks_skipped_);
   w.U64(events_.next_seq());
   rng_.SaveTo(w);
+  noise_rng_.SaveTo(w);
   stats_.SaveTo(w);
 }
 
@@ -43,7 +51,15 @@ void Engine::RestoreFrom(BinaryReader& r) {
   events_.set_next_seq(r.U64());
   events_.RestoreClock(now_);
   rng_.RestoreFrom(r);
+  noise_rng_.RestoreFrom(r);
   stats_.RestoreFrom(r);
+}
+
+void Engine::ResetForRecycle() {
+  events_.Clear();
+  now_ = 0;
+  ticks_ = 0;
+  ticks_skipped_ = 0;
 }
 
 void Engine::AddTicker(Ticker* ticker) {

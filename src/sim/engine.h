@@ -73,6 +73,13 @@ class Engine {
   uint64_t ticks_elapsed() const { return ticks_; }
 
   Rng& rng() { return rng_; }
+  // Config-independent auxiliary stream for boot-time and environment noise
+  // (service jitter, storage latency, contention). Keeping these draws off
+  // the seeded stream means experiment construction consumes zero draws from
+  // rng(): a device's seed feeds only its usage trace, so a post-boot
+  // snapshot plus a reseed of rng() reproduces a cold boot exactly (the fleet
+  // warm-boot template contract).
+  Rng& noise_rng() { return noise_rng_; }
   StatsRegistry& stats() { return stats_; }
 
   // Optional trace sink (owned by the experiment). Null — the default —
@@ -99,11 +106,17 @@ class Engine {
   // owned (and re-armed on restore) by some component's serialization.
   size_t pending_events() const { return events_.size(); }
 
-  // Clock, tick counters, event-sequence cursor, RNG, and stats registry.
+  // Clock, tick counters, event-sequence cursor, RNGs, and stats registry.
   // RestoreFrom requires the event queue to be empty (timers are re-armed by
   // their owners afterwards) and repositions the wheel cursor to now().
   void SaveTo(BinaryWriter& w) const;
   void RestoreFrom(BinaryReader& r);
+
+  // Recycling support: drop every pending event (keeping the wheel's node
+  // pool) and rewind the clock so a subsequent RestoreFrom can overlay a
+  // snapshot onto this live engine. Registered tickers are kept — the
+  // components that own them persist across a recycle.
+  void ResetForRecycle();
 
   // Tickers are called in registration order. Registration during a tick
   // takes effect from the next tick.
@@ -129,6 +142,7 @@ class Engine {
   uint64_t ticks_skipped_ = 0;
   Tracer* tracer_ = nullptr;
   Rng rng_;
+  Rng noise_rng_;
   StatsRegistry stats_;
   EventQueue events_;
   std::vector<Ticker*> tickers_;

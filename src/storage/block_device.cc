@@ -16,7 +16,12 @@ int BioFlags(const Bio& bio) {
 }  // namespace
 
 BlockDevice::BlockDevice(Engine& engine, FlashProfile profile)
-    : engine_(engine), profile_(std::move(profile)), rng_(engine.rng().Fork()) {}
+    : engine_(engine),
+      profile_(std::move(profile)),
+      // Service-time jitter is environment noise, not workload: forking from
+      // the noise stream keeps experiment construction off the seeded stream
+      // (the warm-boot template contract; see Engine::noise_rng).
+      rng_(engine.noise_rng().Fork()) {}
 
 void BlockDevice::Submit(Bio bio) {
   engine_.stats().Increment(bio.dir == IoDir::kRead ? stat::kIoReads : stat::kIoWrites);

@@ -75,6 +75,14 @@ class BlockDevice {
   void SaveTo(BinaryWriter& w) const;
   void RestoreFrom(BinaryReader& r);
 
+  // Recycling support: drop queued commands and forget in-flight ones (their
+  // completion events died with the engine's wheel) so RestoreFrom's idle
+  // checks hold on a reused device.
+  void ResetForRecycle() {
+    queue_.clear();
+    inflight_ = 0;
+  }
+
  private:
   void MaybeStart();
   void Complete(Bio bio, SimTime submitted, uint64_t id);

@@ -74,13 +74,15 @@ TEST(FleetRunnerTest, EmptyFleetProducesEmptyGroups) {
 
 // The determinism contract: fleet output is byte-identical for any jobs=N.
 // This is the in-process twin of the CI leg that diffs --jobs=1 vs --jobs=8.
+// Runs through the default warm-boot template path, so it also pins the
+// per-worker donor/recycle machinery to the shard-independence contract.
 TEST(FleetRunnerTest, ReportIsByteIdenticalAcrossJobCounts) {
   FleetConfig serial_config = SmokeConfig();
   serial_config.jobs = 1;
   FleetResult serial = FleetRunner(serial_config).Run();
 
   FleetConfig parallel_config = SmokeConfig();
-  parallel_config.jobs = 4;
+  parallel_config.jobs = 8;
   FleetResult parallel = FleetRunner(parallel_config).Run();
 
   EXPECT_EQ(serial.devices_failed, 0u);
@@ -100,6 +102,43 @@ TEST(FleetRunnerTest, ReportIsByteIdenticalAcrossJobCounts) {
   }
   EXPECT_EQ(total, serial_config.devices);
   EXPECT_GE(serial.peak_arena_bytes, serial.groups[0].peak_arena_bytes);
+}
+
+// The warm-boot acceptance contract: templated output is byte-identical to
+// cold per-device construction, across every tier of the ladder, both aging
+// policies, both swap policies, and for jobs=1 vs jobs=8. One device per
+// (tier, scheme) group keeps every combination inside the smoke budget.
+TEST(FleetRunnerTest, TemplatedMatchesColdAcrossTiersAgingsSwaps) {
+  for (const char* aging : {"two_list", "gen_clock"}) {
+    for (const char* swap : {"baseline", "hotness"}) {
+      SCOPED_TRACE(std::string(aging) + "/" + swap);
+      FleetConfig base;
+      base.devices = 10;  // 5 tiers x 2 schemes, 1 device per group.
+      base.seed = 99;
+      base.schemes = {"lru_cfs", "ice"};
+      base.aging = aging;
+      base.swap = swap;
+      base.sessions = 1;
+      base.session_mean = Sec(2);
+
+      FleetConfig cold = base;
+      cold.use_templates = false;
+      cold.jobs = 1;
+      FleetResult cold_result = FleetRunner(cold).Run();
+      ASSERT_EQ(cold_result.devices_failed, 0u);
+
+      FleetConfig warm1 = base;
+      warm1.use_templates = true;
+      warm1.jobs = 1;
+      FleetConfig warm8 = base;
+      warm8.use_templates = true;
+      warm8.jobs = 8;
+
+      const std::string want = FleetReportJson("x", cold_result);
+      EXPECT_EQ(want, FleetReportJson("x", FleetRunner(warm1).Run()));
+      EXPECT_EQ(want, FleetReportJson("x", FleetRunner(warm8).Run()));
+    }
+  }
 }
 
 }  // namespace

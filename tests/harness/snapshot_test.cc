@@ -145,6 +145,81 @@ TEST(SnapshotRoundTrip, RestoredRunIsResnapshottable) {
   EXPECT_EQ(want, got);
 }
 
+// ---- Warm-boot templates ----------------------------------------------------
+
+// The invariant the fleet's template path rests on: construction and boot
+// consume ZERO draws from the device-seed stream (everything boot-time or
+// environmental draws from Engine::noise_rng()), so after construction plus
+// settling the engine RNG still sits at the very first value a fresh
+// Rng(seed) produces.
+TEST(WarmBootTemplate, BootConsumesNoDeviceSeedDraws) {
+  ExperimentConfig config = SmallConfig("ice", "gen_clock");
+  config.seed = 987654321;
+  Experiment exp(config);
+  ASSERT_TRUE(exp.SettleToQuiescence());
+  Rng fresh(config.seed);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(exp.engine().rng().Next64(), fresh.Next64()) << "draw " << i;
+  }
+}
+
+// RestoreTemplate overlays a post-boot snapshot onto a *live* experiment
+// (instance recycling) and reseeds the trace RNG; the result must be
+// indistinguishable from a cold experiment built directly with that seed.
+// The second device recycles an instance dirtied by the first device's run
+// — the exact path each fleet worker's donor takes.
+TEST(WarmBootTemplate, RecycledRestoreMatchesColdRun) {
+  ExperimentConfig donor_config = SmallConfig("ice", "two_list");
+  donor_config.seed = 1;  // Arbitrary: the template is seed-independent.
+  Experiment donor(donor_config);
+  ASSERT_TRUE(donor.SettleToQuiescence());
+  std::vector<uint8_t> tmpl = donor.SaveSnapshot();
+
+  auto run_device = [](Experiment& e) {
+    std::vector<Uid> pool = e.PlanBackgroundPool();
+    EXPECT_TRUE(e.CacheOneBackgroundApp(pool[0]));
+    e.FinishCaching();
+    e.RunScenario(ScenarioKind::kScrolling, Sec(10), Sec(5));
+    return StateDigest(e);
+  };
+
+  auto cold_digest = [&](uint64_t seed) {
+    ExperimentConfig config = SmallConfig("ice", "two_list");
+    config.seed = seed;
+    Experiment cold(config);
+    EXPECT_TRUE(cold.SettleToQuiescence());
+    return run_device(cold);
+  };
+
+  // First device: recycles the still-pristine donor.
+  donor.RestoreTemplate(tmpl, 555);
+  EXPECT_EQ(donor.config().seed, 555u);
+  EXPECT_EQ(run_device(donor), cold_digest(555));
+  // Second device: recycles the donor dirtied by the first run.
+  donor.RestoreTemplate(tmpl, 777);
+  EXPECT_EQ(run_device(donor), cold_digest(777));
+  // Same seed through the recycler twice is bit-stable.
+  donor.RestoreTemplate(tmpl, 555);
+  std::string again = run_device(donor);
+  donor.RestoreTemplate(tmpl, 555);
+  EXPECT_EQ(run_device(donor), again);
+}
+
+// The seed-agnostic fingerprint check still rejects every non-seed config
+// difference.
+TEST(WarmBootTemplate, RejectsNonSeedConfigMismatch) {
+  ExperimentConfig config = SmallConfig("lru_cfs", "two_list");
+  Experiment donor(config);
+  ASSERT_TRUE(donor.SettleToQuiescence());
+  std::vector<uint8_t> tmpl = donor.SaveSnapshot();
+
+  ExperimentConfig other = config;
+  other.scheme = "ice";
+  Experiment victim(other);
+  ASSERT_TRUE(victim.SettleToQuiescence());
+  EXPECT_THROW(victim.RestoreTemplate(tmpl, 99), std::runtime_error);
+}
+
 // ---- Malformed streams ------------------------------------------------------
 
 std::vector<uint8_t> MakeSnapshot(const ExperimentConfig& config) {

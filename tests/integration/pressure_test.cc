@@ -138,7 +138,7 @@ TEST(Pressure, IceOnlyFreezesRefaultingApps) {
   // applications and active applications that do not cause refault are not
   // frozen."
   ExperimentConfig config;
-  config.seed = 11;
+  config.seed = 42;
   config.scheme = "ice";
   Experiment exp(config);
   Uid fg = exp.UidOf("TikTok");
